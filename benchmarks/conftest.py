@@ -1,0 +1,29 @@
+"""Shared helpers for the paper-table benchmarks.
+
+Every benchmark regenerates one table of the paper (quick profile by
+default; set ``REPRO_BENCH_PROFILE=paper`` for budgets closer to the
+paper's 30-minute GLPK runs) and asserts the paper's qualitative
+*shape* — who wins, roughly by how much, where the crossovers are.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import get_profile
+from repro.bench.formatting import BenchTable, render_table
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+def run_and_print(benchmark, table_function, profile) -> BenchTable:
+    """Run a table generator once under pytest-benchmark and print it."""
+    table = benchmark.pedantic(
+        table_function, args=(profile,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(table))
+    return table

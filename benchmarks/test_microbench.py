@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the hot components (multi-round timings).
+
+Unlike the table regenerations these use pytest-benchmark's statistics
+properly: many rounds over the pure in-memory kernels, giving a
+regression baseline for the cost evaluator, the SA sub-solvers and the
+model builders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.config import CostParameters
+from repro.costmodel.evaluator import SolutionEvaluator
+from repro.instances.library import named_instance
+from repro.instances.tpcc import tpcc_instance
+from repro.qp.linearize import build_linearized_model
+from repro.sa.state import random_transaction_placement
+from repro.sa.subsolve import SubproblemSolver
+
+
+@pytest.fixture(scope="module")
+def tpcc_coefficients():
+    return build_coefficients(tpcc_instance(), CostParameters())
+
+
+@pytest.fixture(scope="module")
+def large_coefficients():
+    return build_coefficients(named_instance("rndAt16x100"), CostParameters())
+
+
+def _solution(coefficients, num_sites, seed=0):
+    rng = np.random.default_rng(seed)
+    x = random_transaction_placement(
+        coefficients.num_transactions, num_sites, rng
+    )
+    y = SubproblemSolver(coefficients, num_sites).optimize_y_greedy(x)
+    return x, y
+
+
+def test_bench_objective4_tpcc(benchmark, tpcc_coefficients):
+    evaluator = SolutionEvaluator(tpcc_coefficients)
+    x, y = _solution(tpcc_coefficients, 4)
+    cost = benchmark(evaluator.objective4, x, y)
+    assert cost > 0
+
+
+def test_bench_objective6_large(benchmark, large_coefficients):
+    evaluator = SolutionEvaluator(large_coefficients)
+    x, y = _solution(large_coefficients, 4)
+    cost = benchmark(evaluator.objective6, x, y)
+    assert cost > 0
+
+
+def test_bench_optimize_y_greedy_large(benchmark, large_coefficients):
+    subsolver = SubproblemSolver(large_coefficients, 4)
+    rng = np.random.default_rng(1)
+    x = random_transaction_placement(
+        large_coefficients.num_transactions, 4, rng
+    )
+    y = benchmark(subsolver.optimize_y_greedy, x)
+    assert y.any()
+
+
+def test_bench_optimize_x_greedy_large(benchmark, large_coefficients):
+    subsolver = SubproblemSolver(large_coefficients, 4)
+    _, y = _solution(large_coefficients, 4, seed=2)
+    x = benchmark(subsolver.optimize_x_greedy, y)
+    assert (x.sum(axis=1) == 1).all()
+
+
+def test_bench_build_coefficients_tpcc(benchmark):
+    instance = tpcc_instance()
+    coefficients = benchmark(build_coefficients, instance, CostParameters())
+    assert coefficients.num_attributes == 92
+
+
+def test_bench_build_linearized_model_tpcc(benchmark, tpcc_coefficients):
+    linearized = benchmark(build_linearized_model, tpcc_coefficients, 3)
+    assert linearized.model.num_variables > 0

@@ -1,0 +1,42 @@
+"""Table 1: influence of the random-instance parameters on the SA solver.
+
+Expected shape (paper): the largest workload reductions come with few
+queries per transaction, few updates, many attributes per table and a
+moderate number of attribute references per query; table references and
+the width set matter less.
+"""
+
+from repro.bench.tables import table1
+
+from benchmarks.conftest import run_and_print
+
+
+def _rows_for(table, parameter, klass):
+    return [
+        row
+        for row in table.rows
+        if row["parameter"].startswith(parameter) and row["class"] == klass
+    ]
+
+
+def test_table1_parameter_sweep(benchmark, profile):
+    table = run_and_print(benchmark, table1, profile)
+    klass = f"{profile.table1_sizes[0]}x{profile.table1_sizes[0]}"
+
+    # 6 parameters x 3 values per class.
+    assert len(table.rows) == 18 * len(profile.table1_sizes)
+
+    # Partitioning should never *increase* cost dramatically: S=3 is
+    # within a small tolerance of S=1 on every row (load-balance ties
+    # may cost a little) and strictly better somewhere.
+    reductions = [row["red% S=3"] for row in table.rows]
+    assert max(reductions) > 15.0
+    assert min(reductions) > -10.0
+
+    # Shape: many attributes per table (C=35) reduce more than few (C=5).
+    c_rows = _rows_for(table, "C", klass)
+    assert c_rows[-1]["red% S=3"] >= c_rows[0]["red% S=3"] - 5.0
+
+    # Shape: fewer updates reduce at least as much as many updates.
+    b_rows = _rows_for(table, "B", klass)
+    assert b_rows[0]["red% S=3"] >= b_rows[-1]["red% S=3"] - 10.0

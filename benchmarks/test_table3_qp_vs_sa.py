@@ -1,0 +1,45 @@
+"""Table 3: the QP solver vs the SA heuristic.
+
+Expected shape (paper): the SA solver is far faster on large instances
+while the QP wins or ties on small ones; rndA instances gain 25-85%
+cost reduction, rndB instances little or none; TPC-C gains ~25-40%.
+"""
+
+from repro.bench.tables import table3
+
+from benchmarks.conftest import run_and_print
+
+
+def _cost(value):
+    """Parse the paper-style cost cell ('123', '(123)' or 't/o')."""
+    text = str(value)
+    if text == "t/o":
+        return None
+    return float(text.strip("()"))
+
+
+def test_table3_qp_vs_sa(benchmark, profile):
+    table = run_and_print(benchmark, table3, profile)
+    rows = {(row["instance"], row["|S|"]): row for row in table.rows}
+
+    # TPC-C: both solvers cut >= 20% vs single site at every S.
+    for num_sites in (2, 3, 4):
+        row = rows[("TPC-C v5", num_sites)]
+        qp_cost = _cost(row["QP cost"])
+        assert qp_cost is not None
+        assert qp_cost < 0.8 * row["S=1"]
+        assert row["SA cost"] < 0.85 * row["S=1"]
+
+    # rndA rows reduce substantially; rndB rows reduce little.
+    for row in table.rows:
+        name = row["instance"]
+        if name.startswith("rndAt"):
+            assert row["SA cost"] < 0.8 * row["S=1"], name
+        elif name.startswith("rndBt"):
+            assert row["SA cost"] <= 1.1 * row["S=1"], name
+
+    # SA is never catastrophically worse than QP where QP finished.
+    for row in table.rows:
+        qp_cost = _cost(row["QP cost"])
+        if qp_cost is not None:
+            assert row["SA cost"] <= qp_cost * 1.5, row["instance"]

@@ -1,0 +1,39 @@
+"""Table 5: disjoint vs non-disjoint (replicated) partitioning.
+
+Expected shape (paper): allowing replication reduces cost (TPC-C ratio
+~64%, rndA 71-81%, rndB 89-96%), and TPC-C gains almost nothing beyond
+two sites.
+"""
+
+from repro.bench.tables import table5
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table5_replication(benchmark, profile):
+    table = run_and_print(benchmark, table5, profile)
+    rows = {(row["instance"], row["|S|"]): row for row in table.rows}
+
+    # TPC-C: replication buys >= 10% over disjoint at every S >= 2.
+    for num_sites in (2, 3, 4):
+        row = rows[("TPC-C v5", num_sites)]
+        assert row["ratio %"] <= 90
+
+    # TPC-C plateau: S=3,4 within 7% of S=2 (paper: identical).
+    s2 = rows[("TPC-C v5", 2)]["with repl"]
+    for num_sites in (3, 4):
+        assert rows[("TPC-C v5", num_sites)]["with repl"] <= s2 * 1.07
+
+    # rndA benefits more from replication than rndB.
+    rnd_a = min(
+        rows[(name, 2)]["ratio %"] for name in ("rndAt4x15", "rndAt8x15")
+    )
+    rnd_b = min(
+        rows[(name, 2)]["ratio %"] for name in ("rndBt8x15", "rndBt16x15")
+    )
+    assert rnd_a <= rnd_b
+
+    # Replication never hurts by more than the load-balance tie margin.
+    for row in table.rows:
+        if row["ratio %"] is not None:
+            assert row["ratio %"] <= 110, row["instance"]

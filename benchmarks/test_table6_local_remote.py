@@ -1,0 +1,33 @@
+"""Table 6: local (p = 0) vs remote (p > 0) partition placement.
+
+Expected shape (paper): only updates cause inter-site transfer, so
+write-heavy instances (the u50 variants) benefit most from local
+placement — rndAt8x15u50 was ~33% cheaper locally; read-mostly
+instances barely move.
+"""
+
+from repro.bench.tables import table6
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table6_local_remote(benchmark, profile):
+    table = run_and_print(benchmark, table6, profile)
+    rows = {(row["instance"], row["|S|"]): row for row in table.rows}
+
+    # S=1: local == remote exactly (no transfer possible).
+    s1 = rows[("TPC-C v5", 1)]
+    assert s1["local QP"] == s1["remote QP"]
+
+    # Local placement never costs more than remote (QP, exact).
+    for row in table.rows:
+        assert row["local QP"] <= row["remote QP"] * 1.02, row["instance"]
+
+    # The 50%-update instances benefit far more from local placement
+    # than their 10%-update counterparts.
+    gain_u50 = rows[("rndAt8x15u50", 2)]["local/remote %"]
+    gain_u10 = rows[("rndAt8x15", 2)]["local/remote %"]
+    assert gain_u50 < gain_u10
+
+    u50_rows = [row for row in table.rows if "u50" in row["instance"]]
+    assert min(row["local/remote %"] for row in u50_rows) <= 95

@@ -1,0 +1,104 @@
+"""Quickstart: define a schema + workload, partition it, inspect costs.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    CostParameters,
+    ProblemInstance,
+    Query,
+    SchemaBuilder,
+    Transaction,
+    Workload,
+    build_coefficients,
+    render_layout,
+    single_site_partitioning,
+    solve_qp,
+    solve_sa,
+    split_update,
+)
+
+
+def build_instance() -> ProblemInstance:
+    """A small web-shop: wide user profiles, a hot orders path."""
+    schema = (
+        SchemaBuilder("shop")
+        .table(
+            "Users",
+            id=4, email=32, password_hash=32, display_name=24,
+            bio=400, avatar=200, last_login=8,
+        )
+        .table("Orders", id=4, user_id=4, total=8, status=2, created=8)
+        .table("Items", order_id=4, sku=8, quantity=4, price=8)
+        .build()
+    )
+
+    login = Transaction(
+        "Login",
+        (
+            Query.read("Login.find", ["Users.id", "Users.email",
+                                      "Users.password_hash"]),
+            *split_update(
+                "Login.touch",
+                read_attributes=["Users.id"],
+                written_attributes=["Users.last_login"],
+            ),
+        ),
+    )
+    checkout = Transaction(
+        "Checkout",
+        (
+            Query.read("Checkout.cart", ["Items.order_id", "Items.sku",
+                                         "Items.quantity", "Items.price"],
+                       rows=10.0),
+            Query.write("Checkout.order", ["Orders.id", "Orders.user_id",
+                                           "Orders.total", "Orders.status",
+                                           "Orders.created"]),
+            Query.write("Checkout.items", ["Items.order_id", "Items.sku",
+                                           "Items.quantity", "Items.price"],
+                        rows=10.0),
+        ),
+    )
+    profile = Transaction(
+        "ProfilePage",
+        (
+            Query.read(
+                "ProfilePage.load",
+                ["Users.id", "Users.display_name", "Users.bio", "Users.avatar"],
+            ),
+            Query.read("ProfilePage.orders",
+                       ["Orders.id", "Orders.user_id", "Orders.total",
+                        "Orders.status"], rows=10.0),
+        ),
+    )
+    workload = Workload([login, checkout, profile], name="shop-load")
+    return ProblemInstance(schema, workload, name="web-shop")
+
+
+def main() -> None:
+    instance = build_instance()
+    parameters = CostParameters()  # p = 8 (10-gigabit network)
+    coefficients = build_coefficients(instance, parameters)
+
+    baseline = single_site_partitioning(coefficients)
+    print(f"single-site cost        : {baseline.objective:.0f} bytes/unit")
+
+    sa = solve_sa(instance, num_sites=2, parameters=parameters, seed=0)
+    print(f"SA  (2 sites)           : {sa.objective:.0f} "
+          f"({100 * (1 - sa.objective / baseline.objective):.1f}% less)")
+
+    qp = solve_qp(instance, num_sites=2, parameters=parameters, time_limit=30)
+    print(f"QP  (2 sites, optimal)  : {qp.objective:.0f} "
+          f"({100 * (1 - qp.objective / baseline.objective):.1f}% less)")
+
+    breakdown = qp.breakdown()
+    print(f"  reads {breakdown.read_access:.0f} | writes "
+          f"{breakdown.write_access:.0f} | transfer {breakdown.transfer:.0f} "
+          f"(x{parameters.network_penalty:.0f} penalty)")
+    print(f"  replication factor: {qp.replication_factor:.2f} replicas/attribute")
+    print()
+    print(render_layout(qp))
+
+
+if __name__ == "__main__":
+    main()

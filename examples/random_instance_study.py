@@ -1,0 +1,50 @@
+"""Study which workload characteristics make partitioning pay off.
+
+Generates instances from the paper's rndA class (many attributes per
+table, few references per query — big win expected) and rndB class
+(few attributes, many references — little win expected), runs the SA
+solver and all baselines, and prints the comparison. Mirrors the
+Table 1 / Table 3 analysis on a small budget.
+
+Run with:  python examples/random_instance_study.py
+"""
+
+from repro import CostParameters, build_coefficients, single_site_partitioning
+from repro.baselines import (
+    affinity_partitioning,
+    greedy_binpack_partitioning,
+    hill_climb_partitioning,
+)
+from repro.instances import named_instance
+from repro.sa import SaOptions, SaPartitioner
+
+SOLVERS = (
+    ("affinity", affinity_partitioning),
+    ("binpack", greedy_binpack_partitioning),
+    ("hill-climb", hill_climb_partitioning),
+)
+
+
+def main() -> None:
+    parameters = CostParameters()
+    options = SaOptions(inner_loops=10, max_outer_loops=20, seed=7)
+    print(f"{'instance':<12} {'|A|':>5} {'S=1':>9} {'SA':>9} {'red%':>6} "
+          + "".join(f"{name:>11}" for name, _ in SOLVERS))
+    for name in ("rndAt8x15", "rndAt16x15", "rndBt8x15", "rndBt16x15"):
+        instance = named_instance(name)
+        coefficients = build_coefficients(instance, parameters)
+        baseline = single_site_partitioning(coefficients).objective
+        sa = SaPartitioner(coefficients, 3, options=options).solve()
+        row = (f"{name:<12} {instance.num_attributes:>5} {baseline:>9.0f} "
+               f"{sa.objective:>9.0f} "
+               f"{100 * (1 - sa.objective / baseline):>5.1f}%")
+        for _, solver in SOLVERS:
+            result = solver(coefficients, 3)
+            row += f"{result.objective:>11.0f}"
+        print(row)
+    print("\nexpected shape: rndA rows show large reductions, rndB rows "
+          "almost none, and SA beats the classic baselines.")
+
+
+if __name__ == "__main__":
+    main()

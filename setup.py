@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no `wheel` package, so PEP 660 editable
+installs fail; this file enables pip's legacy `setup.py develop` path
+(`pip install -e . --no-use-pep517 --no-build-isolation`).
+"""
+from setuptools import setup
+
+setup()

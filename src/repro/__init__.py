@@ -1,0 +1,118 @@
+"""repro — vertical partitioning of relational OLTP databases.
+
+A faithful, from-scratch reproduction of
+
+    Rasmus Resen Amossen,
+    "Vertical partitioning of relational OLTP databases using integer
+    programming", ICDE 2010 (arXiv:0911.1691).
+
+Public API
+----------
+Model a schema and workload (:class:`SchemaBuilder`, :class:`Query`,
+:class:`Transaction`, :class:`Workload`, :class:`ProblemInstance`),
+choose cost parameters (:class:`CostParameters`), and partition with
+either the optimal QP solver (:func:`solve_qp`) or the scalable
+simulated-annealing heuristic (:func:`solve_sa`). Results are
+:class:`PartitioningResult` objects with full cost breakdowns and
+Table-4-style layout rendering (:func:`render_layout`).
+
+>>> from repro import SchemaBuilder, Query, Transaction, Workload
+>>> from repro import ProblemInstance, solve_sa
+>>> schema = (SchemaBuilder("shop")
+...           .table("Users", id=4, name=16, bio=200)
+...           .build())
+>>> workload = Workload([Transaction("Login", (
+...     Query.read("getUser", ["Users.id", "Users.name"]),))])
+>>> instance = ProblemInstance(schema, workload)
+>>> result = solve_sa(instance, num_sites=2, seed=0)
+>>> result.objective <= 220.0
+True
+"""
+
+from repro.model import (
+    Attribute,
+    Table,
+    Schema,
+    SchemaBuilder,
+    Query,
+    QueryKind,
+    Transaction,
+    Workload,
+    split_update,
+    ProblemInstance,
+    dump_instance,
+    load_instance,
+    describe_instance,
+)
+from repro.costmodel import (
+    CostParameters,
+    WriteAccounting,
+    build_coefficients,
+    SolutionEvaluator,
+    check_solution_feasible,
+)
+from repro.partition import (
+    PartitioningResult,
+    single_site_partitioning,
+    build_layout,
+    render_layout,
+)
+from repro.qp import QpPartitioner, solve_qp
+from repro.sa import SaOptions, SaPartitioner, solve_sa
+from repro.instances import (
+    tpcc_instance,
+    tatp_instance,
+    smallbank_instance,
+    voter_instance,
+    InstanceParameters,
+    generate_instance,
+    named_instance,
+)
+from repro.stats import QueryEvent, TraceCollector, reestimate_instance
+from repro.analysis import penalty_sweep, sites_sweep, lambda_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Table",
+    "Schema",
+    "SchemaBuilder",
+    "Query",
+    "QueryKind",
+    "Transaction",
+    "Workload",
+    "split_update",
+    "ProblemInstance",
+    "dump_instance",
+    "load_instance",
+    "describe_instance",
+    "CostParameters",
+    "WriteAccounting",
+    "build_coefficients",
+    "SolutionEvaluator",
+    "check_solution_feasible",
+    "PartitioningResult",
+    "single_site_partitioning",
+    "build_layout",
+    "render_layout",
+    "QpPartitioner",
+    "solve_qp",
+    "SaOptions",
+    "SaPartitioner",
+    "solve_sa",
+    "tpcc_instance",
+    "tatp_instance",
+    "smallbank_instance",
+    "voter_instance",
+    "InstanceParameters",
+    "generate_instance",
+    "named_instance",
+    "QueryEvent",
+    "TraceCollector",
+    "reestimate_instance",
+    "penalty_sweep",
+    "sites_sweep",
+    "lambda_sweep",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Sensitivity analysis: sweep cost parameters and plot-ready series.
+
+The paper has no figures, but its discussion invites several curves:
+cost vs. the network penalty ``p`` (where does remote placement become
+as good as local?), cost vs. the number of sites (where does the
+plateau start?), cost vs. the load-balance weight (how much cost does
+balance buy?). This package computes those series with any solver.
+"""
+
+from repro.analysis.sweeps import (
+    SweepPoint,
+    SweepSeries,
+    lambda_sweep,
+    penalty_sweep,
+    replication_price_sweep,
+    sites_sweep,
+)
+from repro.analysis.charts import bar_chart, render_series, render_series_breakdown
+
+__all__ = [
+    "SweepPoint",
+    "SweepSeries",
+    "penalty_sweep",
+    "sites_sweep",
+    "lambda_sweep",
+    "replication_price_sweep",
+    "bar_chart",
+    "render_series",
+    "render_series_breakdown",
+]

@@ -1,0 +1,97 @@
+"""Terminal rendering of sweep series (the repository's "figures").
+
+The paper has no figures; the analysis sweeps produce series that are
+worth eyeballing. This module renders them as horizontal ASCII bar
+charts so benches and the CLI can show trends without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.sweeps import SweepSeries
+
+DEFAULT_WIDTH = 48
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = DEFAULT_WIDTH,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render one horizontal bar per (label, value) pair.
+
+    Bars are scaled to the maximum value; zero/negative values render
+    as empty bars.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a  ##    1
+    b  ####  2
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        return "(empty chart)"
+    peak = max(max(values), 0.0)
+    label_width = max(len(str(label)) for label in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = 0
+        if peak > 0 and value > 0:
+            filled = max(1, round(width * value / peak))
+        bar = "#" * filled
+        rendered_value = (
+            f"{value:g}{unit}" if value == int(value) else f"{value:.3g}{unit}"
+        )
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar.ljust(width)}  {rendered_value}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(series: SweepSeries, width: int = DEFAULT_WIDTH) -> str:
+    """Render a sweep series as an objective bar chart."""
+    labels = [f"{series.parameter_name}={point.parameter:g}" for point in series.points]
+    return bar_chart(
+        labels,
+        series.objectives(),
+        width=width,
+        title=f"{series.instance} — objective (4) vs {series.parameter_name} "
+        f"[{series.solver}]",
+    )
+
+
+def render_series_breakdown(series: SweepSeries, width: int = DEFAULT_WIDTH) -> str:
+    """Render local-access vs weighted-transfer composition per point."""
+    if not series.points:
+        return "(empty series)"
+    peak = max(point.objective for point in series.points)
+    label_width = max(
+        len(f"{series.parameter_name}={point.parameter:g}")
+        for point in series.points
+    )
+    lines = [
+        f"{series.instance} — cost composition vs {series.parameter_name} "
+        f"(#=local access, +=penalised transfer)"
+    ]
+    for point in series.points:
+        label = f"{series.parameter_name}={point.parameter:g}"
+        transfer_weighted = point.objective - point.local_access
+        local_bar = 0
+        transfer_bar = 0
+        if peak > 0:
+            local_bar = round(width * point.local_access / peak)
+            transfer_bar = round(width * transfer_weighted / peak)
+        bar = "#" * local_bar + "+" * transfer_bar
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+            f"{point.objective:.3g}"
+        )
+    return "\n".join(lines)

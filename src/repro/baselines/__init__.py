@@ -1,0 +1,33 @@
+"""Baseline partitioners the paper's algorithms are compared against.
+
+Beyond the paper's own ``|S| = 1`` baseline we implement classic
+approaches from its related-work section so the benefit of the
+QP/SA formulation can be quantified:
+
+* round-robin transaction placement (naive),
+* alternating greedy descent (hill climbing),
+* attribute-affinity clustering via the bond energy algorithm
+  (McCormick et al., used by Navathe-style vertical partitioning),
+* greedy first-fit bin packing of co-access fragments.
+
+All baselines return feasible :class:`PartitioningResult` objects
+(read co-location is repaired by adding replicas where needed).
+"""
+
+from repro.baselines.round_robin import round_robin_partitioning
+from repro.baselines.hillclimb import hill_climb_partitioning
+from repro.baselines.affinity import (
+    affinity_matrix,
+    bond_energy_order,
+    affinity_partitioning,
+)
+from repro.baselines.greedy import greedy_binpack_partitioning
+
+__all__ = [
+    "round_robin_partitioning",
+    "hill_climb_partitioning",
+    "affinity_matrix",
+    "bond_energy_order",
+    "affinity_partitioning",
+    "greedy_binpack_partitioning",
+]

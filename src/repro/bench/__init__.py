@@ -1,0 +1,26 @@
+"""Benchmark harness regenerating every table of the paper.
+
+Each ``table*`` function in :mod:`repro.bench.tables` reproduces one
+table of the evaluation section and returns a :class:`BenchTable` whose
+rows mirror the paper's rows (with the paper's reported numbers shown
+alongside ours where applicable). ``python -m repro.bench table3``
+renders any of them from the command line; the pytest-benchmark files
+under ``benchmarks/`` wrap the same functions.
+
+Budgets come from :class:`~repro.bench.config.BenchProfile` — ``quick``
+(default, minutes) or ``paper`` (closer to the paper's 30-minute QP
+budgets), selectable via ``REPRO_BENCH_PROFILE``.
+"""
+
+from repro.bench.config import BenchProfile, get_profile
+from repro.bench.formatting import BenchTable, render_table
+from repro.bench.runner import run_table, TABLE_FUNCTIONS
+
+__all__ = [
+    "BenchProfile",
+    "get_profile",
+    "BenchTable",
+    "render_table",
+    "run_table",
+    "TABLE_FUNCTIONS",
+]

@@ -1,0 +1,70 @@
+"""Benchmark budgets and profiles."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+from repro.sa.options import SaOptions
+
+PROFILE_ENV_VAR = "REPRO_BENCH_PROFILE"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Resource budgets for one benchmark run."""
+
+    name: str
+    #: Wall-clock budget per QP solve (the paper used 1800 s).
+    qp_time_limit: float
+    #: MIP gap (the paper used 0.1%).
+    qp_gap: float
+    #: SA options for ordinary runs.
+    sa_options: SaOptions
+    #: Include the largest instances (the x100 family, 64-table rows).
+    include_large: bool
+    #: Table 1 class sizes (#tables = |T|).
+    table1_sizes: tuple[int, ...]
+    #: Seed for random instances.
+    seed: int = 20100116
+
+    def sa_for(self, num_attributes: int) -> SaOptions:
+        """SA options, slightly reduced for very large instances."""
+        if num_attributes > 500 and self.sa_options.max_outer_loops > 15:
+            from dataclasses import replace
+
+            return replace(self.sa_options, max_outer_loops=15)
+        return self.sa_options
+
+
+QUICK_PROFILE = BenchProfile(
+    name="quick",
+    qp_time_limit=20.0,
+    qp_gap=1e-3,
+    sa_options=SaOptions(inner_loops=10, max_outer_loops=20, patience=6, seed=7),
+    include_large=False,
+    table1_sizes=(20,),
+)
+
+PAPER_PROFILE = BenchProfile(
+    name="paper",
+    qp_time_limit=1800.0,
+    qp_gap=1e-3,
+    sa_options=SaOptions(inner_loops=20, max_outer_loops=60, patience=10, seed=7),
+    include_large=True,
+    table1_sizes=(20, 100),
+)
+
+_PROFILES = {profile.name: profile for profile in (QUICK_PROFILE, PAPER_PROFILE)}
+
+
+def get_profile(name: str | None = None) -> BenchProfile:
+    """Look up a profile by name, falling back to ``REPRO_BENCH_PROFILE``."""
+    if name is None:
+        name = os.environ.get(PROFILE_ENV_VAR, "quick")
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        known = ", ".join(_PROFILES)
+        raise ReproError(f"unknown bench profile {name!r}; known: {known}") from None

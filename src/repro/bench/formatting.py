@@ -1,0 +1,50 @@
+"""Plain-text rendering of benchmark tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class BenchTable:
+    """One regenerated paper table."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column_values(self, column: str) -> list[Any]:
+        return [row.get(column) for row in self.rows]
+
+
+def format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(table: BenchTable) -> str:
+    """Render with aligned columns, title and footnotes."""
+    header = table.columns
+    body = [[format_cell(row.get(column)) for column in header] for row in table.rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [table.title, "=" * len(table.title)]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Installed as ``repro-partition`` (also ``python -m repro``):
+
+* ``repro-partition info tpcc`` — instance statistics,
+* ``repro-partition advise --instance tpcc --sites 3 --solver qp`` —
+  compute and print a partitioning,
+* ``repro-partition advise --schema schema.sql --workload load.sql ...``
+  — partition a user-supplied SQL workload,
+* ``repro-partition bench table3`` — regenerate a paper table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.config import get_profile
+from repro.bench.runner import TABLE_FUNCTIONS, run_table
+from repro.bench.formatting import render_table
+from repro.costmodel.config import CostParameters
+from repro.costmodel.coefficients import build_coefficients
+from repro.exceptions import ReproError
+from repro.instances.library import instance_catalog, named_instance
+from repro.model.statistics import describe_instance
+from repro.partition.assignment import single_site_partitioning
+from repro.partition.layout import layout_summary, render_layout
+from repro.qp.solver import solve_qp
+from repro.sa.options import SaOptions
+from repro.sa.solver import solve_sa
+from repro.sqlio.workload_loader import load_instance_from_sql
+
+
+def _load_instance(args: argparse.Namespace):
+    if args.schema or args.workload:
+        if not (args.schema and args.workload):
+            raise ReproError("--schema and --workload must be given together")
+        schema_sql = Path(args.schema).read_text()
+        workload_sql = Path(args.workload).read_text()
+        return load_instance_from_sql(
+            schema_sql, workload_sql, name=Path(args.workload).stem
+        )
+    return named_instance(args.instance)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    stats = describe_instance(instance)
+    for key, value in stats.as_dict().items():
+        print(f"{key:>12}: {value}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    parameters = CostParameters(
+        network_penalty=args.penalty,
+        # The flag is the load-balance *priority*; the model's lambda
+        # weights cost (see DESIGN.md on the paper's inverted notation).
+        load_balance_lambda=1.0 - args.load_balance,
+    )
+    coefficients = build_coefficients(instance, parameters)
+    baseline = single_site_partitioning(coefficients)
+    if args.solver == "qp":
+        result = solve_qp(
+            instance,
+            args.sites,
+            parameters=parameters,
+            allow_replication=not args.disjoint,
+            time_limit=args.time_limit,
+        )
+    else:
+        options = SaOptions(seed=args.seed, disjoint=args.disjoint)
+        result = solve_sa(instance, args.sites, parameters=parameters, options=options)
+    reduction = 100.0 * (1.0 - result.objective / baseline.objective)
+    print(f"instance      : {instance.name}")
+    print(f"solver        : {result.solver} ({result.wall_time:.2f}s)")
+    print(f"sites         : {args.sites}")
+    print(f"objective (4) : {result.objective:.0f}")
+    print(f"single-site   : {baseline.objective:.0f}  (reduction {reduction:.1f}%)")
+    print(f"replication   : {result.replication_factor:.2f} replicas/attribute")
+    print()
+    print(layout_summary(result))
+    if args.layout:
+        print()
+        print(render_layout(result))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    for target in args.targets:
+        table = run_table(target, profile)
+        print(render_table(table))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-partition",
+        description="Vertical partitioning advisor (Amossen, ICDE 2010 "
+        "reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--instance", default="tpcc",
+            help=f"named instance ({', '.join(instance_catalog()[:4])}, ...)",
+        )
+        sub.add_argument("--schema", help="path to CREATE TABLE SQL")
+        sub.add_argument("--workload", help="path to annotated DML SQL")
+
+    info = subparsers.add_parser("info", help="print instance statistics")
+    add_instance_args(info)
+    info.set_defaults(func=_cmd_info)
+
+    advise = subparsers.add_parser("advise", help="compute a partitioning")
+    add_instance_args(advise)
+    advise.add_argument("--sites", type=int, default=2)
+    advise.add_argument("--solver", choices=("qp", "sa"), default="sa")
+    advise.add_argument("--penalty", type=float, default=8.0,
+                        help="network penalty p (0 = local placement)")
+    advise.add_argument("--load-balance", type=float, default=0.1,
+                        help="load-balance priority in [0,1]: 0 = pure "
+                        "cost minimisation, 1 = pure max-load balancing "
+                        "(the paper's Section-5 setting is 0.1)")
+    advise.add_argument("--disjoint", action="store_true",
+                        help="forbid attribute replication")
+    advise.add_argument("--time-limit", type=float, default=60.0)
+    advise.add_argument("--seed", type=int, default=None)
+    advise.add_argument("--layout", action="store_true",
+                        help="print the full Table-4-style layout")
+    advise.set_defaults(func=_cmd_advise)
+
+    bench = subparsers.add_parser("bench", help="regenerate paper tables")
+    bench.add_argument("targets", nargs="+", choices=list(TABLE_FUNCTIONS))
+    bench.add_argument("--profile", choices=("quick", "paper"), default=None)
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""The paper's cost model (Section 2).
+
+Given a problem instance and cost parameters (network penalty ``p``,
+load-balance weight ``lambda``), this package derives:
+
+* the static indicator arrays ``alpha, beta, gamma, delta, phi``
+  (:mod:`repro.costmodel.constants`),
+* the per-attribute weights ``W[a,q] = w_a * f_q * n_{a,q}`` and the
+  objective coefficients ``c1, c2, c3, c4``
+  (:mod:`repro.costmodel.coefficients`),
+* evaluation of any candidate solution ``(x, y)``: objective (4), the
+  blended objective (6), the cost breakdown ``A = AR + AW`` and ``B``,
+  per-site loads and the Appendix-A latency estimate
+  (:mod:`repro.costmodel.evaluator`).
+"""
+
+from repro.costmodel.config import CostParameters, WriteAccounting
+from repro.costmodel.constants import IndicatorArrays, build_indicators
+from repro.costmodel.coefficients import CostCoefficients, build_coefficients
+from repro.costmodel.evaluator import (
+    CostBreakdown,
+    SolutionEvaluator,
+    check_solution_feasible,
+    feasibility_violations,
+)
+
+__all__ = [
+    "CostParameters",
+    "WriteAccounting",
+    "IndicatorArrays",
+    "build_indicators",
+    "CostCoefficients",
+    "build_coefficients",
+    "CostBreakdown",
+    "SolutionEvaluator",
+    "check_solution_feasible",
+    "feasibility_violations",
+]

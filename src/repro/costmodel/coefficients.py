@@ -1,0 +1,151 @@
+"""Objective coefficients derived from the indicators (Section 2).
+
+``W[a,q] = w_a * f_q * n_{a,q}`` estimates the byte cost of attribute
+``a`` in query ``q``. From it the paper derives four static coefficient
+arrays:
+
+* ``c1[a,t] = sum_q W[a,q] * gamma[q,t] * (beta[a,q] * (1 - delta[q])
+  - p * alpha[a,q] * delta[q])`` — the bilinear ``x * y`` coefficient,
+* ``c2[a]   = sum_q W[a,q] * delta[q] * (beta[a,q] + p * alpha[a,q])``
+  — the per-replica coefficient,
+* ``c3[a,t] = sum_q W[a,q] * gamma[q,t] * beta[a,q] * (1 - delta[q])``
+  — per-site read load,
+* ``c4[a]   = sum_q W[a,q] * beta[a,q] * delta[q]`` — per-replica write
+  load.
+
+``c1`` can be negative (placing a replica of an updated attribute on the
+updating transaction's site avoids one network transfer), which matters
+to the linearisation and the SA greedy step.
+
+The ablation write-accounting modes adjust the ``beta * delta`` terms:
+
+* ``ALL_ATTRIBUTES`` (paper default): keep as above.
+* ``NO_ATTRIBUTES``: drop the local write cost entirely (``c2``'s beta
+  term and ``c4`` become zero).
+* ``RELEVANT_ATTRIBUTES``: not expressible as static coefficients; the
+  evaluator computes it from the raw arrays (quadratic in ``y``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.costmodel.config import CostParameters, WriteAccounting
+from repro.costmodel.constants import IndicatorArrays, build_indicators
+from repro.model.instance import ProblemInstance
+
+
+@dataclass(frozen=True)
+class CostCoefficients:
+    """All static data the solvers need, bundled with its provenance."""
+
+    instance: ProblemInstance
+    parameters: CostParameters
+    indicators: IndicatorArrays
+    weights: np.ndarray  # W (|A|, |Q|)
+    c1: np.ndarray  # (|A|, |T|)
+    c2: np.ndarray  # (|A|,)
+    c3: np.ndarray  # (|A|, |T|)
+    c4: np.ndarray  # (|A|,)
+
+    @property
+    def num_attributes(self) -> int:
+        return self.c1.shape[0]
+
+    @property
+    def num_transactions(self) -> int:
+        return self.c1.shape[1]
+
+    @cached_property
+    def phi_bool(self) -> np.ndarray:
+        """``phi`` as a boolean mask (used by co-location handling)."""
+        return self.indicators.phi > 0
+
+    @cached_property
+    def read_weight(self) -> np.ndarray:
+        """``W * beta * (1 - delta)`` per (a, q): read access bytes."""
+        indicators = self.indicators
+        return self.weights * indicators.beta * (1.0 - indicators.delta)
+
+    @cached_property
+    def write_weight(self) -> np.ndarray:
+        """``W * beta * delta`` per (a, q): local write bytes (paper mode)."""
+        indicators = self.indicators
+        return self.weights * indicators.beta * indicators.delta
+
+    @cached_property
+    def transfer_weight(self) -> np.ndarray:
+        """``W * alpha * delta`` per (a, q): network transfer bytes."""
+        indicators = self.indicators
+        return self.weights * indicators.alpha * indicators.delta
+
+    def single_site_cost(self) -> float:
+        """Objective (4) of the trivial |S| = 1 solution.
+
+        With one site all transfer terms cancel and the cost reduces to
+        ``sum_{a,q} W[a,q] * beta[a,q]`` — the paper's ``|S| = 1``
+        baseline column.
+        """
+        if self.parameters.write_accounting is WriteAccounting.NO_ATTRIBUTES:
+            return float(self.read_weight.sum())
+        return float(self.read_weight.sum() + self.write_weight.sum())
+
+
+def build_weights(instance: ProblemInstance, indicators: IndicatorArrays) -> np.ndarray:
+    """``W[a,q] = w_a * f_q * n_{a,q}`` (zero where the table is untouched)."""
+    widths = np.asarray(instance.attribute_widths())
+    frequencies = np.asarray([query.frequency for query in instance.queries])
+    return widths[:, None] * frequencies[None, :] * indicators.rows
+
+
+def build_coefficients(
+    instance: ProblemInstance,
+    parameters: CostParameters | None = None,
+    indicators: IndicatorArrays | None = None,
+) -> CostCoefficients:
+    """Derive :class:`CostCoefficients` for ``instance``.
+
+    ``indicators`` may be passed to avoid recomputing them when several
+    parameter settings are evaluated on one instance (Table 6 sweeps
+    ``p``; the indicators do not depend on it).
+    """
+    parameters = parameters or CostParameters()
+    indicators = indicators or build_indicators(instance)
+    weights = build_weights(instance, indicators)
+    penalty = parameters.network_penalty
+
+    alpha = indicators.alpha
+    beta = indicators.beta
+    gamma = indicators.gamma
+    delta = indicators.delta
+
+    read_term = weights * beta * (1.0 - delta)  # (|A|, |Q|)
+    transfer_term = weights * alpha * delta
+    write_term = weights * beta * delta
+
+    if parameters.write_accounting is WriteAccounting.NO_ATTRIBUTES:
+        local_write = np.zeros_like(write_term)
+    else:
+        # ALL_ATTRIBUTES (the paper's choice). RELEVANT_ATTRIBUTES also
+        # uses these coefficients as an upper bound; its exact cost is
+        # evaluated from the raw arrays by the evaluator.
+        local_write = write_term
+
+    c1 = (read_term - penalty * transfer_term) @ gamma  # (|A|, |T|)
+    c2 = local_write.sum(axis=1) + penalty * transfer_term.sum(axis=1)  # (|A|,)
+    c3 = read_term @ gamma  # (|A|, |T|)
+    c4 = local_write.sum(axis=1)  # (|A|,)
+
+    return CostCoefficients(
+        instance=instance,
+        parameters=parameters,
+        indicators=indicators,
+        weights=weights,
+        c1=c1,
+        c2=c2,
+        c3=c3,
+        c4=c4,
+    )

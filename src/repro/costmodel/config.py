@@ -1,0 +1,104 @@
+"""Cost-model parameters (Section 2 and Section 5 of the paper)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.exceptions import InstanceError
+
+#: The paper's default network penalty for a 10-gigabit network (Section 5).
+DEFAULT_NETWORK_PENALTY = 8.0
+
+#: Default load-balance weight. NOTE on paper fidelity: objective (6)
+#: weights cost by ``lambda`` and the max site load ``m`` by
+#: ``1 - lambda``, and Section 5 says "we mainly focus on minimizing the
+#: total costs and therefore set lambda low (0.1)" — which contradicts
+#: the formula (a low cost-weight makes load balancing dominant) and the
+#: paper's own results (its costs never inflate to buy balance, and it
+#: describes load balance as a tie-breaker "if there is a cost draw").
+#: We therefore read the paper's "lambda = 0.1" as the *load-balance
+#: priority* and default the cost weight to 0.9; with this value every
+#: qualitative result of the paper reproduces (see EXPERIMENTS.md).
+DEFAULT_LAMBDA = 0.9
+
+
+class WriteAccounting(enum.Enum):
+    """The three write-cost accounting choices of Section 2.1.
+
+    The paper adopts :attr:`ALL_ATTRIBUTES` (a conservative overestimate
+    that keeps the model linear in ``y``); the other two are implemented
+    for the ablation benchmark.
+    """
+
+    #: "Access relevant attributes": a fraction is written only if the
+    #: query updates at least one attribute co-located with it. Most
+    #: accurate, quadratic in ``y`` (only supported by the evaluator and
+    #: the SA solver, not the linearised QP).
+    RELEVANT_ATTRIBUTES = "relevant"
+
+    #: "Access all attributes": write queries write to every site holding
+    #: any fraction of a touched table. The paper's choice.
+    ALL_ATTRIBUTES = "all"
+
+    #: "Access no attributes": writes cost only network transfer.
+    NO_ATTRIBUTES = "none"
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Tunable parameters of the cost model.
+
+    Parameters
+    ----------
+    network_penalty:
+        The paper's ``p`` >= 0. ``p = 0`` models all partitions placed
+        locally on one physical machine (Table 6's "Local" columns);
+        ``p = 8`` models a 10-gigabit network (the default).
+    load_balance_lambda:
+        The paper's ``lambda`` in [0, 1]: weight ``lambda`` on total cost
+        and ``1 - lambda`` on the maximally loaded site.
+    write_accounting:
+        Which Section-2.1 write accounting to use (default: the paper's).
+    latency_penalty:
+        Appendix A's ``p_l``; used only when latency estimation is
+        requested. ``0`` disables the latency term.
+    """
+
+    network_penalty: float = DEFAULT_NETWORK_PENALTY
+    load_balance_lambda: float = DEFAULT_LAMBDA
+    write_accounting: WriteAccounting = WriteAccounting.ALL_ATTRIBUTES
+    latency_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.network_penalty < 0:
+            raise InstanceError(
+                f"network penalty must be >= 0, got {self.network_penalty!r}"
+            )
+        if not 0.0 <= self.load_balance_lambda <= 1.0:
+            raise InstanceError(
+                f"lambda must be in [0, 1], got {self.load_balance_lambda!r}"
+            )
+        if self.latency_penalty < 0:
+            raise InstanceError(
+                f"latency penalty must be >= 0, got {self.latency_penalty!r}"
+            )
+
+    @property
+    def is_local(self) -> bool:
+        """True when partitions are modelled as locally placed (p = 0)."""
+        return self.network_penalty == 0.0
+
+    def with_local_placement(self) -> "CostParameters":
+        """Return a copy with ``p = 0`` (Table 6's local placement)."""
+        return replace(self, network_penalty=0.0)
+
+    def with_penalty(self, network_penalty: float) -> "CostParameters":
+        return replace(self, network_penalty=network_penalty)
+
+    def with_lambda(self, load_balance_lambda: float) -> "CostParameters":
+        return replace(self, load_balance_lambda=load_balance_lambda)
+
+
+#: Parameters used throughout the paper's experiments (p=8, lambda=0.1).
+PAPER_DEFAULTS = CostParameters()

@@ -1,0 +1,92 @@
+"""The five static indicator arrays of Section 2.1.
+
+For an instance with attribute set ``A``, query set ``Q`` and
+transaction set ``T`` the paper defines:
+
+* ``alpha[a,q]`` — attribute ``a`` itself is accessed by query ``q``,
+* ``beta[a,q]``  — ``a`` belongs to a table that ``q`` accesses,
+* ``gamma[q,t]`` — query ``q`` is used in transaction ``t``,
+* ``delta[q]``   — ``q`` is a write query,
+* ``phi[a,t]``   — some *read* query of ``t`` accesses ``a``.
+
+All arrays are dense numpy float64 (they multiply into weight sums) and
+are built once per instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.instance import ProblemInstance
+
+
+@dataclass(frozen=True)
+class IndicatorArrays:
+    """Dense indicator arrays plus the row-count matrix ``n[a,q]``."""
+
+    alpha: np.ndarray  # (|A|, |Q|)
+    beta: np.ndarray  # (|A|, |Q|)
+    gamma: np.ndarray  # (|Q|, |T|)
+    delta: np.ndarray  # (|Q|,)
+    phi: np.ndarray  # (|A|, |T|)
+    rows: np.ndarray  # (|A|, |Q|)  n_{a,q}; zero where beta == 0
+
+    @property
+    def num_attributes(self) -> int:
+        return self.alpha.shape[0]
+
+    @property
+    def num_queries(self) -> int:
+        return self.alpha.shape[1]
+
+    @property
+    def num_transactions(self) -> int:
+        return self.gamma.shape[1]
+
+
+def build_indicators(instance: ProblemInstance) -> IndicatorArrays:
+    """Construct the indicator arrays for ``instance``.
+
+    Invariants established here (and property-tested):
+
+    * ``alpha <= beta`` element-wise (accessing an attribute implies
+      accessing its table),
+    * every column of ``gamma`` sums over transactions to exactly 1,
+    * ``phi[a,t] = max over read queries q of t of alpha[a,q]``.
+    """
+    num_attributes = instance.num_attributes
+    num_queries = instance.num_queries
+    num_transactions = instance.num_transactions
+
+    alpha = np.zeros((num_attributes, num_queries))
+    beta = np.zeros((num_attributes, num_queries))
+    gamma = np.zeros((num_queries, num_transactions))
+    delta = np.zeros(num_queries)
+    phi = np.zeros((num_attributes, num_transactions))
+    rows = np.zeros((num_attributes, num_queries))
+
+    attribute_index = instance.attribute_index
+    table_attributes = instance.table_attributes
+    owner = instance.query_transaction
+
+    for q_index, query in enumerate(instance.queries):
+        t_index = owner[q_index]
+        gamma[q_index, t_index] = 1.0
+        if query.is_write:
+            delta[q_index] = 1.0
+        for qualified in query.attributes:
+            a_index = attribute_index[qualified]
+            alpha[a_index, q_index] = 1.0
+            if not query.is_write:
+                phi[a_index, t_index] = 1.0
+        for table in query.tables:
+            n_rows = query.rows_for(table)
+            for a_index in table_attributes[table]:
+                beta[a_index, q_index] = 1.0
+                rows[a_index, q_index] = n_rows
+
+    return IndicatorArrays(
+        alpha=alpha, beta=beta, gamma=gamma, delta=delta, phi=phi, rows=rows
+    )

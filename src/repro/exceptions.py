@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is invalid (duplicate names, bad widths, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid (unknown attributes, empty sets, ...)."""
+
+
+class InstanceError(ReproError):
+    """A problem instance is inconsistent (schema/workload mismatch)."""
+
+
+class SolverError(ReproError):
+    """A solver failed (infeasible model, numerical trouble, bad options)."""
+
+
+class InfeasibleError(SolverError):
+    """The optimisation model has no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The optimisation model is unbounded."""
+
+
+class SolverLimitError(SolverError):
+    """A solver hit a resource limit before producing any solution."""
+
+
+class ParseError(ReproError):
+    """A SQL workload/schema text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SimulationError(ReproError):
+    """The execution simulator was asked to do something impossible."""

@@ -1,0 +1,37 @@
+"""Problem-instance sources: TPC-C, random generator, named library."""
+
+from repro.instances.tpcc import tpcc_instance, tpcc_schema, tpcc_workload
+from repro.instances.random_gen import (
+    InstanceParameters,
+    RandomInstanceGenerator,
+    generate_instance,
+)
+from repro.instances.library import (
+    TABLE1_DEFAULTS,
+    TABLE2_INSTANCES,
+    instance_catalog,
+    named_instance,
+)
+from repro.instances.testbed import (
+    TESTBED_INSTANCES,
+    smallbank_instance,
+    tatp_instance,
+    voter_instance,
+)
+
+__all__ = [
+    "TESTBED_INSTANCES",
+    "tatp_instance",
+    "smallbank_instance",
+    "voter_instance",
+    "tpcc_instance",
+    "tpcc_schema",
+    "tpcc_workload",
+    "InstanceParameters",
+    "RandomInstanceGenerator",
+    "generate_instance",
+    "TABLE1_DEFAULTS",
+    "TABLE2_INSTANCES",
+    "instance_catalog",
+    "named_instance",
+]

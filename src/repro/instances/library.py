@@ -1,0 +1,103 @@
+"""Named instances: the paper's Table 2 plus the Table 1 sweep defaults.
+
+The ``rndA...`` class (many attributes per table, few attribute
+references per query) has large cost-reduction potential; the
+``rndB...`` class (few attributes per table, many references) has
+little — Table 3 confirms this split.
+
+The Table-3 rows also include ``...t64x...`` instances not listed in
+Table 2; they follow the same parameter pattern with 64 tables.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InstanceError
+from repro.instances.random_gen import InstanceParameters, generate_instance
+from repro.instances.tpcc import tpcc_instance
+from repro.model.instance import ProblemInstance
+
+#: Default seed so named instances are reproducible across runs.
+DEFAULT_SEED = 20100116  # the paper's arXiv v3 date
+
+#: Bold defaults of Table 1 (parameters A-F).
+TABLE1_DEFAULTS = InstanceParameters(
+    name="table1-default",
+    num_transactions=20,
+    num_tables=20,
+    max_queries_per_transaction=3,  # A
+    update_percent=10.0,  # B
+    max_attributes_per_table=15,  # C
+    max_table_refs_per_query=5,  # D
+    max_attribute_refs_per_query=15,  # E
+    attribute_widths=(4.0, 8.0),  # F
+)
+
+
+def _rnd_a(num_tables: int, num_transactions: int, update_percent: float = 10.0) -> InstanceParameters:
+    """Class rndA: large expected cost reduction (Table 2, upper block)."""
+    suffix = f"u{int(update_percent)}" if update_percent != 10.0 else ""
+    return InstanceParameters(
+        name=f"rndAt{num_tables}x{num_transactions}{suffix}",
+        num_transactions=num_transactions,
+        num_tables=num_tables,
+        max_queries_per_transaction=3,
+        update_percent=update_percent,
+        max_attributes_per_table=30,
+        max_table_refs_per_query=3,
+        max_attribute_refs_per_query=8,
+        attribute_widths=(2.0, 4.0, 8.0, 16.0),
+    )
+
+
+def _rnd_b(num_tables: int, num_transactions: int, update_percent: float = 10.0) -> InstanceParameters:
+    """Class rndB: small expected cost reduction (Table 2, lower block)."""
+    suffix = f"u{int(update_percent)}" if update_percent != 10.0 else ""
+    return InstanceParameters(
+        name=f"rndBt{num_tables}x{num_transactions}{suffix}",
+        num_transactions=num_transactions,
+        num_tables=num_tables,
+        max_queries_per_transaction=3,
+        update_percent=update_percent,
+        max_attributes_per_table=5,
+        max_table_refs_per_query=6,
+        max_attribute_refs_per_query=28,
+        attribute_widths=(2.0, 4.0, 8.0, 16.0),
+    )
+
+
+#: All named random instances of Tables 2, 3, 5 and 6.
+TABLE2_INSTANCES: dict[str, InstanceParameters] = {
+    parameters.name: parameters
+    for parameters in (
+        [_rnd_a(tables, 15) for tables in (4, 8, 16, 32, 64)]
+        + [_rnd_a(8, 15, update_percent=50.0)]
+        + [_rnd_a(tables, 100) for tables in (4, 8, 16, 32, 64)]
+        + [_rnd_b(tables, 15) for tables in (4, 8, 16, 32, 64)]
+        + [_rnd_b(16, 15, update_percent=50.0)]
+        + [_rnd_b(tables, 100) for tables in (4, 8, 16, 32, 64)]
+    )
+}
+
+
+def instance_catalog() -> tuple[str, ...]:
+    """Names accepted by :func:`named_instance`."""
+    from repro.instances.testbed import TESTBED_INSTANCES
+
+    return ("tpcc",) + tuple(TESTBED_INSTANCES) + tuple(TABLE2_INSTANCES)
+
+
+def named_instance(name: str, seed: int = DEFAULT_SEED) -> ProblemInstance:
+    """Materialise a named instance ("tpcc", a testbed name, or a
+    Table-2 name)."""
+    from repro.instances.testbed import TESTBED_INSTANCES
+
+    if name == "tpcc":
+        return tpcc_instance()
+    if name in TESTBED_INSTANCES:
+        return TESTBED_INSTANCES[name]()
+    try:
+        parameters = TABLE2_INSTANCES[name]
+    except KeyError:
+        known = ", ".join(instance_catalog())
+        raise InstanceError(f"unknown instance {name!r}; known: {known}") from None
+    return generate_instance(parameters, seed=seed)

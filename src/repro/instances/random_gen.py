@@ -1,0 +1,166 @@
+"""The random OLTP instance generator of Section 5.3.
+
+Instances are described by upper bounds on seven parameters (the paper's
+Table 1 labels them A-F plus the sizes); each individual value is drawn
+uniformly between 1 and its bound:
+
+* A — max queries per transaction,
+* B — percentage of queries being updates,
+* C — max attributes per table,
+* D — max tables referenced by a single query,
+* E — max individual attributes referenced by a single query,
+* F — the set of allowed attribute widths,
+
+plus the number of transactions |T| and the number of tables.
+
+The paper does not state distributions for query frequencies and row
+counts; we use ``f_q ~ U[1, max_frequency]`` and per-table row counts
+``~ U[1, max_rows]`` (documented substitution, see DESIGN.md). Both
+bounds are parameters, so alternative conventions are one argument away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.exceptions import InstanceError
+from repro.model.instance import ProblemInstance
+from repro.model.schema import Attribute, Schema, Table
+from repro.model.workload import Query, QueryKind, Transaction, Workload
+
+
+@dataclass(frozen=True)
+class InstanceParameters:
+    """Upper bounds defining a class of random instances (Section 5.3)."""
+
+    name: str = "random"
+    num_transactions: int = 20
+    num_tables: int = 20
+    max_queries_per_transaction: int = 3  # A
+    update_percent: float = 10.0  # B
+    max_attributes_per_table: int = 15  # C
+    max_table_refs_per_query: int = 5  # D
+    max_attribute_refs_per_query: int = 15  # E
+    attribute_widths: tuple[float, ...] = (4.0, 8.0)  # F
+    max_frequency: int = 100
+    max_rows: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_transactions < 1 or self.num_tables < 1:
+            raise InstanceError("need at least one transaction and one table")
+        if not 0.0 <= self.update_percent <= 100.0:
+            raise InstanceError(
+                f"update_percent must be in [0, 100], got {self.update_percent!r}"
+            )
+        if not self.attribute_widths:
+            raise InstanceError("attribute_widths must be non-empty")
+        for bound_name in (
+            "max_queries_per_transaction",
+            "max_attributes_per_table",
+            "max_table_refs_per_query",
+            "max_attribute_refs_per_query",
+            "max_frequency",
+            "max_rows",
+        ):
+            if getattr(self, bound_name) < 1:
+                raise InstanceError(f"{bound_name} must be >= 1")
+
+    def with_(self, **overrides) -> "InstanceParameters":
+        """A copy with some fields replaced (used by the Table-1 sweep)."""
+        return replace(self, **overrides)
+
+
+class RandomInstanceGenerator:
+    """Draws concrete instances from an :class:`InstanceParameters` class."""
+
+    def __init__(self, parameters: InstanceParameters, seed: int | None = None):
+        self.parameters = parameters
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self) -> ProblemInstance:
+        schema = self._generate_schema()
+        workload = self._generate_workload(schema)
+        return ProblemInstance(schema, workload, name=self.parameters.name)
+
+    # ------------------------------------------------------------------
+    def _generate_schema(self) -> Schema:
+        parameters = self.parameters
+        rng = self._rng
+        tables = []
+        for table_number in range(parameters.num_tables):
+            table_name = f"T{table_number}"
+            num_attributes = int(rng.integers(1, parameters.max_attributes_per_table + 1))
+            attributes = tuple(
+                Attribute(
+                    table=table_name,
+                    name=f"a{attr_number}",
+                    width=float(rng.choice(parameters.attribute_widths)),
+                )
+                for attr_number in range(num_attributes)
+            )
+            tables.append(Table(table_name, attributes))
+        return Schema(tables, name=parameters.name)
+
+    def _generate_workload(self, schema: Schema) -> Workload:
+        parameters = self.parameters
+        rng = self._rng
+        transactions = []
+        for txn_number in range(parameters.num_transactions):
+            num_queries = int(rng.integers(1, parameters.max_queries_per_transaction + 1))
+            queries = tuple(
+                self._generate_query(schema, f"t{txn_number}.q{query_number}")
+                for query_number in range(num_queries)
+            )
+            transactions.append(Transaction(f"txn{txn_number}", queries))
+        return Workload(transactions, name=f"{parameters.name}-workload")
+
+    def _generate_query(self, schema: Schema, name: str) -> Query:
+        parameters = self.parameters
+        rng = self._rng
+        is_update = rng.random() * 100.0 < parameters.update_percent
+
+        max_tables = min(parameters.max_table_refs_per_query, len(schema))
+        num_tables = int(rng.integers(1, max_tables + 1))
+        table_choice = rng.choice(len(schema), size=num_tables, replace=False)
+        chosen_tables = [schema.tables[int(index)] for index in table_choice]
+
+        # Candidate attributes: the union over the chosen tables; at least
+        # one attribute per chosen table so each reference is real.
+        num_refs = int(rng.integers(1, parameters.max_attribute_refs_per_query + 1))
+        num_refs = max(num_refs, num_tables)
+        attributes: set[str] = set()
+        for table in chosen_tables:
+            pick = int(rng.integers(0, len(table.attributes)))
+            attributes.add(table.attributes[pick].qualified_name)
+        pool = [
+            attribute.qualified_name
+            for table in chosen_tables
+            for attribute in table.attributes
+            if attribute.qualified_name not in attributes
+        ]
+        remaining = min(num_refs - len(attributes), len(pool))
+        if remaining > 0:
+            extra = rng.choice(len(pool), size=remaining, replace=False)
+            attributes.update(pool[int(index)] for index in extra)
+
+        rows = {
+            table.name: float(rng.integers(1, parameters.max_rows + 1))
+            for table in chosen_tables
+        }
+        frequency = float(rng.integers(1, parameters.max_frequency + 1))
+        return Query(
+            name=name,
+            kind=QueryKind.WRITE if is_update else QueryKind.READ,
+            attributes=frozenset(attributes),
+            rows=rows,
+            frequency=frequency,
+        )
+
+
+def generate_instance(
+    parameters: InstanceParameters, seed: int | None = None
+) -> ProblemInstance:
+    """Generate one random instance from ``parameters``."""
+    return RandomInstanceGenerator(parameters, seed=seed).generate()

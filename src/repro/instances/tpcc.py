@@ -1,0 +1,368 @@
+"""The TPC-C v5 problem instance (Section 5.2 of the paper).
+
+The full TPC-C 5.10.1 schema — 9 tables, 92 attributes — and the five
+transactions, modelled with the paper's simplifying conventions:
+
+* every query runs with frequency 1,
+* every query accesses 1 row, except where the TPC-C specification
+  aggregates or iterates over results, in which case 10 rows,
+* every SQL UPDATE becomes two sub-queries: a read accessing the
+  attributes the statement reads (WHERE columns and any right-hand-side
+  columns other than self-references such as ``S_YTD = S_YTD + ?``,
+  whose read was already issued by the transaction's SELECTs) and a
+  write accessing only the attributes actually written,
+* INSERTs and DELETEs write complete rows.
+
+Attribute widths follow the TPC-C data types (integers 4 bytes,
+timestamps/decimals 8, ``char(n)``/``varchar(n)`` n bytes).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.model.instance import ProblemInstance
+from repro.model.schema import Schema, SchemaBuilder
+from repro.model.workload import Query, Transaction, Workload, split_update
+
+#: Row count the paper assigns to aggregate / iterated queries.
+ITERATED_ROWS = 10.0
+
+
+def tpcc_schema() -> Schema:
+    """The 9-table, 92-attribute TPC-C v5 schema."""
+    return (
+        SchemaBuilder("tpcc")
+        .table(
+            "Warehouse",
+            W_ID=4, W_NAME=10, W_STREET_1=20, W_STREET_2=20, W_CITY=20,
+            W_STATE=2, W_ZIP=9, W_TAX=4, W_YTD=8,
+        )
+        .table(
+            "District",
+            D_ID=4, D_W_ID=4, D_NAME=10, D_STREET_1=20, D_STREET_2=20,
+            D_CITY=20, D_STATE=2, D_ZIP=9, D_TAX=4, D_YTD=8, D_NEXT_O_ID=4,
+        )
+        .table(
+            "Customer",
+            C_ID=4, C_D_ID=4, C_W_ID=4, C_FIRST=16, C_MIDDLE=2, C_LAST=16,
+            C_STREET_1=20, C_STREET_2=20, C_CITY=20, C_STATE=2, C_ZIP=9,
+            C_PHONE=16, C_SINCE=8, C_CREDIT=2, C_CREDIT_LIM=8, C_DISCOUNT=4,
+            C_BALANCE=8, C_YTD_PAYMENT=8, C_PAYMENT_CNT=4, C_DELIVERY_CNT=4,
+            C_DATA=500,
+        )
+        .table(
+            "History",
+            H_C_ID=4, H_C_D_ID=4, H_C_W_ID=4, H_D_ID=4, H_W_ID=4,
+            H_DATE=8, H_AMOUNT=8, H_DATA=24,
+        )
+        .table("NewOrder", NO_O_ID=4, NO_D_ID=4, NO_W_ID=4)
+        .table(
+            "Order",
+            O_ID=4, O_D_ID=4, O_W_ID=4, O_C_ID=4, O_ENTRY_D=8,
+            O_CARRIER_ID=4, O_OL_CNT=4, O_ALL_LOCAL=4,
+        )
+        .table(
+            "OrderLine",
+            OL_O_ID=4, OL_D_ID=4, OL_W_ID=4, OL_NUMBER=4, OL_I_ID=4,
+            OL_SUPPLY_W_ID=4, OL_DELIVERY_D=8, OL_QUANTITY=4, OL_AMOUNT=8,
+            OL_DIST_INFO=24,
+        )
+        .table("Item", I_ID=4, I_IM_ID=4, I_NAME=24, I_PRICE=4, I_DATA=50)
+        .table(
+            "Stock",
+            S_I_ID=4, S_W_ID=4, S_QUANTITY=4,
+            S_DIST_01=24, S_DIST_02=24, S_DIST_03=24, S_DIST_04=24,
+            S_DIST_05=24, S_DIST_06=24, S_DIST_07=24, S_DIST_08=24,
+            S_DIST_09=24, S_DIST_10=24,
+            S_YTD=8, S_ORDER_CNT=4, S_REMOTE_CNT=4, S_DATA=50,
+        )
+        .build()
+    )
+
+
+def _new_order_transaction() -> Transaction:
+    """TPC-C 2.4: the New-Order transaction."""
+    queries: list[Query] = [
+        Query.read("NewOrder.getWarehouseTax", ["Warehouse.W_ID", "Warehouse.W_TAX"]),
+        Query.read(
+            "NewOrder.getDistrict",
+            ["District.D_W_ID", "District.D_ID", "District.D_TAX",
+             "District.D_NEXT_O_ID"],
+        ),
+    ]
+    # UPDATE DISTRICT SET D_NEXT_O_ID = D_NEXT_O_ID + 1 WHERE D_W_ID=? AND D_ID=?
+    queries.extend(
+        split_update(
+            "NewOrder.incrementNextOrderId",
+            read_attributes=["District.D_W_ID", "District.D_ID"],
+            written_attributes=["District.D_NEXT_O_ID"],
+        )
+    )
+    queries.append(
+        Query.read(
+            "NewOrder.getCustomer",
+            ["Customer.C_W_ID", "Customer.C_D_ID", "Customer.C_ID",
+             "Customer.C_DISCOUNT", "Customer.C_LAST", "Customer.C_CREDIT"],
+        )
+    )
+    queries.append(
+        Query.write(
+            "NewOrder.insertOrder",
+            ["Order.O_ID", "Order.O_D_ID", "Order.O_W_ID", "Order.O_C_ID",
+             "Order.O_ENTRY_D", "Order.O_CARRIER_ID", "Order.O_OL_CNT",
+             "Order.O_ALL_LOCAL"],
+        )
+    )
+    queries.append(
+        Query.write(
+            "NewOrder.insertNewOrder",
+            ["NewOrder.NO_O_ID", "NewOrder.NO_D_ID", "NewOrder.NO_W_ID"],
+        )
+    )
+    # Per order line (~10 items; iterated -> 10 rows).
+    queries.append(
+        Query.read(
+            "NewOrder.getItems",
+            ["Item.I_ID", "Item.I_PRICE", "Item.I_NAME", "Item.I_DATA"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    queries.append(
+        Query.read(
+            "NewOrder.getStock",
+            ["Stock.S_I_ID", "Stock.S_W_ID", "Stock.S_QUANTITY", "Stock.S_DATA",
+             "Stock.S_DIST_01", "Stock.S_DIST_02", "Stock.S_DIST_03",
+             "Stock.S_DIST_04", "Stock.S_DIST_05", "Stock.S_DIST_06",
+             "Stock.S_DIST_07", "Stock.S_DIST_08", "Stock.S_DIST_09",
+             "Stock.S_DIST_10"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    # UPDATE STOCK SET S_QUANTITY=?, S_YTD=S_YTD+?, S_ORDER_CNT=S_ORDER_CNT+1,
+    # S_REMOTE_CNT=S_REMOTE_CNT+? WHERE S_I_ID=? AND S_W_ID=?
+    queries.extend(
+        split_update(
+            "NewOrder.updateStock",
+            read_attributes=["Stock.S_I_ID", "Stock.S_W_ID"],
+            written_attributes=["Stock.S_QUANTITY", "Stock.S_YTD",
+                                "Stock.S_ORDER_CNT", "Stock.S_REMOTE_CNT"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    queries.append(
+        Query.write(
+            "NewOrder.insertOrderLine",
+            ["OrderLine.OL_O_ID", "OrderLine.OL_D_ID", "OrderLine.OL_W_ID",
+             "OrderLine.OL_NUMBER", "OrderLine.OL_I_ID",
+             "OrderLine.OL_SUPPLY_W_ID", "OrderLine.OL_DELIVERY_D",
+             "OrderLine.OL_QUANTITY", "OrderLine.OL_AMOUNT",
+             "OrderLine.OL_DIST_INFO"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    return Transaction("NewOrder", tuple(queries))
+
+
+def _payment_transaction() -> Transaction:
+    """TPC-C 2.5: the Payment transaction."""
+    queries: list[Query] = []
+    # UPDATE WAREHOUSE SET W_YTD = W_YTD + ? WHERE W_ID = ?
+    queries.extend(
+        split_update(
+            "Payment.updateWarehouse",
+            read_attributes=["Warehouse.W_ID"],
+            written_attributes=["Warehouse.W_YTD"],
+        )
+    )
+    queries.append(
+        Query.read(
+            "Payment.getWarehouse",
+            ["Warehouse.W_ID", "Warehouse.W_NAME", "Warehouse.W_STREET_1",
+             "Warehouse.W_STREET_2", "Warehouse.W_CITY", "Warehouse.W_STATE",
+             "Warehouse.W_ZIP"],
+        )
+    )
+    queries.extend(
+        split_update(
+            "Payment.updateDistrict",
+            read_attributes=["District.D_W_ID", "District.D_ID"],
+            written_attributes=["District.D_YTD"],
+        )
+    )
+    queries.append(
+        Query.read(
+            "Payment.getDistrict",
+            ["District.D_W_ID", "District.D_ID", "District.D_NAME",
+             "District.D_STREET_1", "District.D_STREET_2", "District.D_CITY",
+             "District.D_STATE", "District.D_ZIP"],
+        )
+    )
+    # Customer selected by last name, sorted by C_FIRST: iterated.
+    queries.append(
+        Query.read(
+            "Payment.getCustomerByLastName",
+            ["Customer.C_W_ID", "Customer.C_D_ID", "Customer.C_LAST",
+             "Customer.C_ID", "Customer.C_FIRST", "Customer.C_MIDDLE",
+             "Customer.C_STREET_1", "Customer.C_STREET_2", "Customer.C_CITY",
+             "Customer.C_STATE", "Customer.C_ZIP", "Customer.C_PHONE",
+             "Customer.C_CREDIT", "Customer.C_CREDIT_LIM",
+             "Customer.C_DISCOUNT", "Customer.C_BALANCE", "Customer.C_SINCE"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    # Bad-credit branch reads C_DATA.
+    queries.append(
+        Query.read(
+            "Payment.getCustomerData",
+            ["Customer.C_W_ID", "Customer.C_D_ID", "Customer.C_ID",
+             "Customer.C_DATA"],
+        )
+    )
+    # UPDATE CUSTOMER SET C_BALANCE=?, C_YTD_PAYMENT=?, C_PAYMENT_CNT=?,
+    # C_DATA=? WHERE C_W_ID=? AND C_D_ID=? AND C_ID=?
+    queries.extend(
+        split_update(
+            "Payment.updateCustomer",
+            read_attributes=["Customer.C_W_ID", "Customer.C_D_ID",
+                             "Customer.C_ID"],
+            written_attributes=["Customer.C_BALANCE", "Customer.C_YTD_PAYMENT",
+                                "Customer.C_PAYMENT_CNT", "Customer.C_DATA"],
+        )
+    )
+    queries.append(
+        Query.write(
+            "Payment.insertHistory",
+            ["History.H_C_ID", "History.H_C_D_ID", "History.H_C_W_ID",
+             "History.H_D_ID", "History.H_W_ID", "History.H_DATE",
+             "History.H_AMOUNT", "History.H_DATA"],
+        )
+    )
+    return Transaction("Payment", tuple(queries))
+
+
+def _order_status_transaction() -> Transaction:
+    """TPC-C 2.6: the Order-Status transaction."""
+    return Transaction(
+        "OrderStatus",
+        (
+            Query.read(
+                "OrderStatus.getCustomerByLastName",
+                ["Customer.C_W_ID", "Customer.C_D_ID", "Customer.C_LAST",
+                 "Customer.C_ID", "Customer.C_FIRST", "Customer.C_MIDDLE",
+                 "Customer.C_BALANCE"],
+                rows=ITERATED_ROWS,
+            ),
+            Query.read(
+                "OrderStatus.getLastOrder",
+                ["Order.O_W_ID", "Order.O_D_ID", "Order.O_C_ID", "Order.O_ID",
+                 "Order.O_ENTRY_D", "Order.O_CARRIER_ID"],
+            ),
+            Query.read(
+                "OrderStatus.getOrderLines",
+                ["OrderLine.OL_W_ID", "OrderLine.OL_D_ID", "OrderLine.OL_O_ID",
+                 "OrderLine.OL_I_ID", "OrderLine.OL_SUPPLY_W_ID",
+                 "OrderLine.OL_QUANTITY", "OrderLine.OL_AMOUNT",
+                 "OrderLine.OL_DELIVERY_D"],
+                rows=ITERATED_ROWS,
+            ),
+        ),
+    )
+
+
+def _delivery_transaction() -> Transaction:
+    """TPC-C 2.7: the Delivery transaction (iterates over 10 districts)."""
+    queries: list[Query] = [
+        Query.read(
+            "Delivery.getNewOrder",
+            ["NewOrder.NO_W_ID", "NewOrder.NO_D_ID", "NewOrder.NO_O_ID"],
+            rows=ITERATED_ROWS,
+        ),
+        # DELETE removes complete rows.
+        Query.write(
+            "Delivery.deleteNewOrder",
+            ["NewOrder.NO_W_ID", "NewOrder.NO_D_ID", "NewOrder.NO_O_ID"],
+            rows=ITERATED_ROWS,
+        ),
+        Query.read(
+            "Delivery.getCustomerId",
+            ["Order.O_ID", "Order.O_D_ID", "Order.O_W_ID", "Order.O_C_ID"],
+            rows=ITERATED_ROWS,
+        ),
+    ]
+    queries.extend(
+        split_update(
+            "Delivery.updateCarrier",
+            read_attributes=["Order.O_ID", "Order.O_D_ID", "Order.O_W_ID"],
+            written_attributes=["Order.O_CARRIER_ID"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    queries.extend(
+        split_update(
+            "Delivery.updateDeliveryDate",
+            read_attributes=["OrderLine.OL_O_ID", "OrderLine.OL_D_ID",
+                             "OrderLine.OL_W_ID"],
+            written_attributes=["OrderLine.OL_DELIVERY_D"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    queries.append(
+        Query.read(
+            "Delivery.sumOrderAmount",
+            ["OrderLine.OL_O_ID", "OrderLine.OL_D_ID", "OrderLine.OL_W_ID",
+             "OrderLine.OL_AMOUNT"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    queries.extend(
+        split_update(
+            "Delivery.updateCustomer",
+            read_attributes=["Customer.C_ID", "Customer.C_D_ID",
+                             "Customer.C_W_ID"],
+            written_attributes=["Customer.C_BALANCE",
+                                "Customer.C_DELIVERY_CNT"],
+            rows=ITERATED_ROWS,
+        )
+    )
+    return Transaction("Delivery", tuple(queries))
+
+
+def _stock_level_transaction() -> Transaction:
+    """TPC-C 2.8: the Stock-Level transaction (aggregate join)."""
+    return Transaction(
+        "StockLevel",
+        (
+            Query.read(
+                "StockLevel.getNextOrderId",
+                ["District.D_W_ID", "District.D_ID", "District.D_NEXT_O_ID"],
+            ),
+            Query.read(
+                "StockLevel.countLowStock",
+                ["OrderLine.OL_W_ID", "OrderLine.OL_D_ID", "OrderLine.OL_O_ID",
+                 "OrderLine.OL_I_ID", "Stock.S_W_ID", "Stock.S_I_ID",
+                 "Stock.S_QUANTITY"],
+                rows=ITERATED_ROWS,
+            ),
+        ),
+    )
+
+
+def tpcc_workload() -> Workload:
+    """The five TPC-C transactions."""
+    return Workload(
+        (
+            _new_order_transaction(),
+            _payment_transaction(),
+            _order_status_transaction(),
+            _delivery_transaction(),
+            _stock_level_transaction(),
+        ),
+        name="tpcc-v5",
+    )
+
+
+@lru_cache(maxsize=1)
+def tpcc_instance() -> ProblemInstance:
+    """The full TPC-C v5 problem instance (|A| = 92, |T| = 5)."""
+    return ProblemInstance(tpcc_schema(), tpcc_workload(), name="TPC-C v5")

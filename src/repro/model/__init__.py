@@ -1,0 +1,37 @@
+"""Schema, workload and problem-instance data model.
+
+The model mirrors the paper's inputs: a relational schema (tables with
+attributes, each attribute has an average width ``w_a``), and a workload
+of transactions, each a sequence of queries with statistics (frequency
+``f_q`` and per-table row counts ``n_{a,q}``).
+"""
+
+from repro.model.schema import Attribute, Table, Schema, SchemaBuilder
+from repro.model.workload import Query, QueryKind, Transaction, Workload, split_update
+from repro.model.instance import ProblemInstance
+from repro.model.serialize import (
+    instance_to_dict,
+    instance_from_dict,
+    dump_instance,
+    load_instance,
+)
+from repro.model.statistics import InstanceStatistics, describe_instance
+
+__all__ = [
+    "Attribute",
+    "Table",
+    "Schema",
+    "SchemaBuilder",
+    "Query",
+    "QueryKind",
+    "Transaction",
+    "Workload",
+    "split_update",
+    "ProblemInstance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "dump_instance",
+    "load_instance",
+    "InstanceStatistics",
+    "describe_instance",
+]

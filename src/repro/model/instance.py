@@ -1,0 +1,111 @@
+"""A problem instance: schema + workload + canonical index maps.
+
+The instance fixes the canonical ordering of attributes, transactions
+and queries that every numpy array in the cost model and the solvers
+refers to. Index 0..|A|-1 for attributes, 0..|T|-1 for transactions and
+0..|Q|-1 for queries.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.exceptions import InstanceError
+from repro.model.schema import Attribute, Schema
+from repro.model.workload import Query, Transaction, Workload
+
+
+class ProblemInstance:
+    """Schema and workload bundled with canonical index maps.
+
+    Parameters
+    ----------
+    schema:
+        The database schema.
+    workload:
+        The transaction workload; validated against the schema.
+    name:
+        Human-readable instance name (used in benchmark tables).
+    """
+
+    def __init__(self, schema: Schema, workload: Workload, name: str | None = None):
+        workload.validate_against(schema)
+        self.schema = schema
+        self.workload = workload
+        self.name = name or f"{schema.name}/{workload.name}"
+
+    # ------------------------------------------------------------------
+    # Canonical orderings
+    # ------------------------------------------------------------------
+    @cached_property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """All attributes in canonical order (index = position)."""
+        return self.schema.attributes
+
+    @cached_property
+    def transactions(self) -> tuple[Transaction, ...]:
+        return self.workload.transactions
+
+    @cached_property
+    def queries(self) -> tuple[Query, ...]:
+        return self.workload.queries
+
+    @cached_property
+    def attribute_index(self) -> dict[str, int]:
+        """Map qualified attribute name -> canonical index."""
+        return {
+            attribute.qualified_name: index
+            for index, attribute in enumerate(self.attributes)
+        }
+
+    @cached_property
+    def transaction_index(self) -> dict[str, int]:
+        return {
+            transaction.name: index
+            for index, transaction in enumerate(self.transactions)
+        }
+
+    @cached_property
+    def query_index(self) -> dict[str, int]:
+        return {query.name: index for index, query in enumerate(self.queries)}
+
+    @cached_property
+    def query_transaction(self) -> tuple[int, ...]:
+        """For each query index, the index of its owning transaction."""
+        owner: list[int] = []
+        for t_index, transaction in enumerate(self.transactions):
+            owner.extend([t_index] * len(transaction))
+        return tuple(owner)
+
+    @cached_property
+    def table_attributes(self) -> dict[str, tuple[int, ...]]:
+        """Map table name -> canonical indices of its attributes."""
+        result: dict[str, list[int]] = {table.name: [] for table in self.schema.tables}
+        for index, attribute in enumerate(self.attributes):
+            result[attribute.table].append(index)
+        return {table: tuple(indices) for table, indices in result.items()}
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def attribute_widths(self) -> list[float]:
+        """Widths ``w_a`` in canonical attribute order."""
+        return [attribute.width for attribute in self.attributes]
+
+    def __repr__(self) -> str:
+        return (
+            f"ProblemInstance({self.name!r}, |A|={self.num_attributes}, "
+            f"|T|={self.num_transactions}, |Q|={self.num_queries})"
+        )

@@ -1,0 +1,229 @@
+"""Relational schema: attributes, tables and the schema container.
+
+Attributes are globally identified by their *qualified name*
+``"Table.attribute"``; the vertical-partitioning problem distributes
+these qualified attributes (the paper's set ``A``) over sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single column of a table.
+
+    Parameters
+    ----------
+    table:
+        Name of the owning table.
+    name:
+        Column name, unique within the table.
+    width:
+        Average width ``w_a`` in bytes; must be positive.
+    """
+
+    table: str
+    name: str
+    width: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if not self.table:
+            raise SchemaError("attribute table must be non-empty")
+        if self.width <= 0:
+            raise SchemaError(
+                f"attribute {self.table}.{self.name} must have positive width, "
+                f"got {self.width!r}"
+            )
+
+    @property
+    def qualified_name(self) -> str:
+        """The globally unique ``Table.attribute`` identifier."""
+        return f"{self.table}.{self.name}"
+
+    def __str__(self) -> str:
+        return self.qualified_name
+
+
+@dataclass(frozen=True)
+class Table:
+    """A relational table: an ordered collection of attributes."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        if not self.attributes:
+            raise SchemaError(f"table {self.name!r} must have at least one attribute")
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            if attribute.table != self.name:
+                raise SchemaError(
+                    f"attribute {attribute.qualified_name!r} does not belong to "
+                    f"table {self.name!r}"
+                )
+            if attribute.name in seen:
+                raise SchemaError(
+                    f"duplicate attribute {attribute.name!r} in table {self.name!r}"
+                )
+            seen.add(attribute.name)
+
+    @property
+    def row_width(self) -> float:
+        """Total width of a full (unpartitioned) row of this table."""
+        return sum(attribute.width for attribute in self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name``.
+
+        Raises :class:`SchemaError` if no such attribute exists.
+        """
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"table {self.name!r} has no attribute {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+
+class Schema:
+    """A database schema: an ordered set of tables.
+
+    The ordering of tables (and of attributes within a table) is
+    significant: it defines the canonical index of each attribute in the
+    numpy arrays used by the cost model.
+    """
+
+    def __init__(self, tables: Iterable[Table], name: str = "schema"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            if table.name in self._tables:
+                raise SchemaError(f"duplicate table {table.name!r} in schema")
+            self._tables[table.name] = table
+        if not self._tables:
+            raise SchemaError("schema must contain at least one table")
+        self._attributes: tuple[Attribute, ...] = tuple(
+            attribute for table in self._tables.values() for attribute in table
+        )
+        self._by_qualified: dict[str, Attribute] = {
+            attribute.qualified_name: attribute for attribute in self._attributes
+        }
+
+    @property
+    def tables(self) -> tuple[Table, ...]:
+        return tuple(self._tables.values())
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """All attributes of all tables, in canonical order."""
+        return self._attributes
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name`` (raises :class:`SchemaError`)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"schema has no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def attribute(self, qualified_name: str) -> Attribute:
+        """Look up an attribute by its ``Table.attribute`` name."""
+        try:
+            return self._by_qualified[qualified_name]
+        except KeyError:
+            raise SchemaError(f"schema has no attribute {qualified_name!r}") from None
+
+    def has_attribute(self, qualified_name: str) -> bool:
+        return qualified_name in self._by_qualified
+
+    def resolve(self, name: str, tables: Iterable[str] | None = None) -> Attribute:
+        """Resolve a possibly unqualified attribute name.
+
+        If ``name`` contains a dot it is treated as qualified; otherwise
+        every table in ``tables`` (or the whole schema) is searched and
+        the name must match exactly one attribute.
+        """
+        if "." in name:
+            return self.attribute(name)
+        search = [self.table(t) for t in tables] if tables is not None else self.tables
+        matches = [
+            table.attribute(name)
+            for table in search
+            if name in table.attribute_names
+        ]
+        if not matches:
+            raise SchemaError(f"no table contains attribute {name!r}")
+        if len(matches) > 1:
+            owners = ", ".join(match.table for match in matches)
+            raise SchemaError(f"attribute {name!r} is ambiguous (tables: {owners})")
+        return matches[0]
+
+    @property
+    def total_width(self) -> float:
+        return sum(table.row_width for table in self.tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema({self.name!r}, tables={len(self)}, "
+            f"attributes={len(self._attributes)})"
+        )
+
+
+class SchemaBuilder:
+    """Fluent helper for constructing schemas in examples and tests.
+
+    >>> schema = (SchemaBuilder("shop")
+    ...           .table("Customer", id=4, name=16, address=40)
+    ...           .table("Orders", id=4, customer_id=4, total=8)
+    ...           .build())
+    >>> len(schema.attributes)
+    6
+    """
+
+    def __init__(self, name: str = "schema"):
+        self._name = name
+        self._tables: list[Table] = []
+
+    def table(self, name: str, /, **widths: float) -> "SchemaBuilder":
+        """Add a table whose attributes are given as ``name=width`` pairs."""
+        if not widths:
+            raise SchemaError(f"table {name!r} needs at least one attribute")
+        attributes = tuple(
+            Attribute(table=name, name=attr, width=width)
+            for attr, width in widths.items()
+        )
+        self._tables.append(Table(name=name, attributes=attributes))
+        return self
+
+    def table_from_widths(self, name: str, widths: Mapping[str, float]) -> "SchemaBuilder":
+        """Like :meth:`table` but takes an explicit mapping (for generated names)."""
+        return self.table(name, **dict(widths))
+
+    def build(self) -> Schema:
+        return Schema(self._tables, name=self._name)

@@ -1,0 +1,124 @@
+"""JSON (de)serialisation of problem instances.
+
+The on-disk format is a plain JSON document so instances can be shared,
+versioned and diffed. ``instance_to_dict``/``instance_from_dict`` are
+exact inverses (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import InstanceError
+from repro.model.instance import ProblemInstance
+from repro.model.schema import Attribute, Schema, Table
+from repro.model.workload import Query, QueryKind, Transaction, Workload
+
+FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: ProblemInstance) -> dict[str, Any]:
+    """Serialise an instance to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": instance.name,
+        "schema": {
+            "name": instance.schema.name,
+            "tables": [
+                {
+                    "name": table.name,
+                    "attributes": [
+                        {"name": attribute.name, "width": attribute.width}
+                        for attribute in table
+                    ],
+                }
+                for table in instance.schema.tables
+            ],
+        },
+        "workload": {
+            "name": instance.workload.name,
+            "transactions": [
+                {
+                    "name": transaction.name,
+                    "queries": [
+                        {
+                            "name": query.name,
+                            "kind": query.kind.value,
+                            "attributes": sorted(query.attributes),
+                            "rows": dict(query.rows),
+                            "frequency": query.frequency,
+                            "extra_tables": sorted(query.extra_tables),
+                        }
+                        for query in transaction
+                    ],
+                }
+                for transaction in instance.workload
+            ],
+        },
+    }
+
+
+def instance_from_dict(payload: dict[str, Any]) -> ProblemInstance:
+    """Reconstruct an instance from :func:`instance_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise InstanceError(
+            f"unsupported instance format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        schema_payload = payload["schema"]
+        tables = [
+            Table(
+                name=table_payload["name"],
+                attributes=tuple(
+                    Attribute(
+                        table=table_payload["name"],
+                        name=attr_payload["name"],
+                        width=float(attr_payload["width"]),
+                    )
+                    for attr_payload in table_payload["attributes"]
+                ),
+            )
+            for table_payload in schema_payload["tables"]
+        ]
+        schema = Schema(tables, name=schema_payload.get("name", "schema"))
+        workload_payload = payload["workload"]
+        transactions = [
+            Transaction(
+                name=txn_payload["name"],
+                queries=tuple(
+                    Query(
+                        name=query_payload["name"],
+                        kind=QueryKind(query_payload["kind"]),
+                        attributes=frozenset(query_payload["attributes"]),
+                        rows={
+                            table: float(count)
+                            for table, count in query_payload.get("rows", {}).items()
+                        },
+                        frequency=float(query_payload.get("frequency", 1.0)),
+                        extra_tables=frozenset(query_payload.get("extra_tables", ())),
+                    )
+                    for query_payload in txn_payload["queries"]
+                ),
+            )
+            for txn_payload in workload_payload["transactions"]
+        ]
+        workload = Workload(transactions, name=workload_payload.get("name", "workload"))
+        return ProblemInstance(schema, workload, name=payload.get("name"))
+    except (KeyError, TypeError, ValueError) as error:
+        raise InstanceError(f"malformed instance payload: {error}") from error
+
+
+def dump_instance(instance: ProblemInstance, path: str | Path) -> None:
+    """Write an instance to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(instance_to_dict(instance), indent=2, sort_keys=True)
+    )
+
+
+def load_instance(path: str | Path) -> ProblemInstance:
+    """Read an instance previously written by :func:`dump_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))

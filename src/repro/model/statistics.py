@@ -1,0 +1,63 @@
+"""Descriptive statistics of problem instances.
+
+Used by the benchmark harness to print the instance columns of the
+paper's tables (|A|, |T|, query/update counts, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.instance import ProblemInstance
+
+
+@dataclass(frozen=True)
+class InstanceStatistics:
+    """Summary counts of a problem instance."""
+
+    name: str
+    num_tables: int
+    num_attributes: int
+    num_transactions: int
+    num_queries: int
+    num_read_queries: int
+    num_write_queries: int
+    total_row_width: float
+    mean_attributes_per_table: float
+    mean_queries_per_transaction: float
+    update_fraction: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "tables": self.num_tables,
+            "|A|": self.num_attributes,
+            "|T|": self.num_transactions,
+            "queries": self.num_queries,
+            "reads": self.num_read_queries,
+            "writes": self.num_write_queries,
+            "row width": self.total_row_width,
+            "attrs/table": round(self.mean_attributes_per_table, 2),
+            "queries/txn": round(self.mean_queries_per_transaction, 2),
+            "update %": round(100.0 * self.update_fraction, 1),
+        }
+
+
+def describe_instance(instance: ProblemInstance) -> InstanceStatistics:
+    """Compute :class:`InstanceStatistics` for ``instance``."""
+    queries = instance.queries
+    writes = sum(1 for query in queries if query.is_write)
+    num_tables = len(instance.schema)
+    return InstanceStatistics(
+        name=instance.name,
+        num_tables=num_tables,
+        num_attributes=instance.num_attributes,
+        num_transactions=instance.num_transactions,
+        num_queries=len(queries),
+        num_read_queries=len(queries) - writes,
+        num_write_queries=writes,
+        total_row_width=instance.schema.total_width,
+        mean_attributes_per_table=instance.num_attributes / num_tables,
+        mean_queries_per_transaction=len(queries) / instance.num_transactions,
+        update_fraction=writes / len(queries) if queries else 0.0,
+    )

@@ -1,0 +1,319 @@
+"""Workload model: queries, transactions and the workload container.
+
+Each query carries the statistics the paper's cost model needs:
+
+* ``kind`` — read or write (the indicator ``delta_q``),
+* ``attributes`` — the attributes the query itself accesses (``alpha``),
+* ``rows`` — per-table average row count (``n_{a,q}`` for every
+  attribute ``a`` of that table),
+* ``frequency`` — ``f_q``.
+
+The set of *tables* a query touches (which drives ``beta``) is derived
+from the accessed attributes, optionally widened via ``extra_tables``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import WorkloadError
+from repro.model.schema import Schema
+
+
+class QueryKind(enum.Enum):
+    """Whether a query reads or writes (the paper's ``delta_q``)."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+DEFAULT_ROWS = 1.0
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single query template with its runtime statistics.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within the workload.
+    kind:
+        :attr:`QueryKind.READ` or :attr:`QueryKind.WRITE`.
+    attributes:
+        Qualified names of attributes the query accesses (``alpha``).
+        For writes these are the attributes actually *written*.
+    rows:
+        Mapping from table name to the average number of rows retrieved
+        from / written to that table (``n_{a,q}``). Tables touched but
+        absent from the mapping default to ``1.0``.
+    frequency:
+        Relative execution frequency ``f_q`` (> 0).
+    extra_tables:
+        Tables the query touches without the attribute set showing it
+        (rare; used when an access pattern scans a table fraction whose
+        attributes are not in ``attributes``).
+    """
+
+    name: str
+    kind: QueryKind
+    attributes: frozenset[str]
+    rows: Mapping[str, float] = field(default_factory=dict)
+    frequency: float = 1.0
+    extra_tables: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("query name must be non-empty")
+        if not self.attributes and not self.extra_tables:
+            raise WorkloadError(f"query {self.name!r} accesses no attributes")
+        if self.frequency <= 0:
+            raise WorkloadError(
+                f"query {self.name!r} must have positive frequency, "
+                f"got {self.frequency!r}"
+            )
+        for qualified in self.attributes:
+            if "." not in qualified:
+                raise WorkloadError(
+                    f"query {self.name!r}: attribute {qualified!r} must be "
+                    f"qualified as 'Table.attribute'"
+                )
+        for table, count in self.rows.items():
+            if count <= 0:
+                raise WorkloadError(
+                    f"query {self.name!r}: row count for table {table!r} must "
+                    f"be positive, got {count!r}"
+                )
+        # Normalise to frozen containers so Query is safely hashable.
+        object.__setattr__(self, "attributes", frozenset(self.attributes))
+        object.__setattr__(self, "extra_tables", frozenset(self.extra_tables))
+        object.__setattr__(self, "rows", dict(self.rows))
+
+    @property
+    def is_write(self) -> bool:
+        """The paper's ``delta_q`` indicator."""
+        return self.kind is QueryKind.WRITE
+
+    @property
+    def tables(self) -> frozenset[str]:
+        """All tables this query touches (drives ``beta_{a,q}``)."""
+        derived = {qualified.split(".", 1)[0] for qualified in self.attributes}
+        return frozenset(derived | set(self.extra_tables))
+
+    def rows_for(self, table: str) -> float:
+        """``n_{a,q}`` for attributes of ``table`` (default 1.0)."""
+        return float(self.rows.get(table, DEFAULT_ROWS))
+
+    @staticmethod
+    def read(
+        name: str,
+        attributes: Iterable[str],
+        rows: Mapping[str, float] | float | None = None,
+        frequency: float = 1.0,
+    ) -> "Query":
+        """Convenience constructor for a read query.
+
+        ``rows`` may be a single number, applied to every touched table.
+        """
+        return Query(
+            name=name,
+            kind=QueryKind.READ,
+            attributes=frozenset(attributes),
+            rows=_normalise_rows(attributes, rows),
+            frequency=frequency,
+        )
+
+    @staticmethod
+    def write(
+        name: str,
+        attributes: Iterable[str],
+        rows: Mapping[str, float] | float | None = None,
+        frequency: float = 1.0,
+    ) -> "Query":
+        """Convenience constructor for a write query."""
+        return Query(
+            name=name,
+            kind=QueryKind.WRITE,
+            attributes=frozenset(attributes),
+            rows=_normalise_rows(attributes, rows),
+            frequency=frequency,
+        )
+
+
+def _normalise_rows(
+    attributes: Iterable[str], rows: Mapping[str, float] | float | None
+) -> dict[str, float]:
+    if rows is None:
+        return {}
+    if isinstance(rows, Mapping):
+        return dict(rows)
+    tables = {qualified.split(".", 1)[0] for qualified in attributes}
+    return {table: float(rows) for table in tables}
+
+
+def split_update(
+    name: str,
+    read_attributes: Iterable[str],
+    written_attributes: Iterable[str],
+    rows: Mapping[str, float] | float | None = None,
+    frequency: float = 1.0,
+) -> tuple[Query, ...]:
+    """Model an SQL UPDATE per Section 5.2 of the paper.
+
+    An UPDATE is split into a read sub-query accessing the attributes
+    the statement *reads* (WHERE predicates and right-hand-side columns
+    other than pure self-references like ``ytd = ytd + ?``) and a write
+    sub-query accessing only the attributes actually written (whose new
+    values must be shipped to every replica).
+
+    Written attributes deliberately do NOT force read co-location: the
+    paper's Table 4 places write-only attributes (``S_YTD``,
+    ``C_PAYMENT_CNT``, ...) away from their updating transaction's site,
+    which is only feasible if the read sub-query excludes them.
+
+    Returns ``(read_query, write_query)``, or just ``(write_query,)``
+    when the update reads nothing (no WHERE clause, self-references
+    only).
+    """
+    read_attrs = frozenset(read_attributes)
+    write_attrs = frozenset(written_attributes)
+    if not write_attrs:
+        raise WorkloadError(f"update {name!r} writes no attributes")
+    write_query = Query.write(f"{name}:write", write_attrs, rows=rows, frequency=frequency)
+    if not read_attrs:
+        return (write_query,)
+    read_query = Query.read(f"{name}:read", read_attrs, rows=rows, frequency=frequency)
+    return read_query, write_query
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A named sequence of queries executed as a unit (the paper's ``t``)."""
+
+    name: str
+    queries: tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("transaction name must be non-empty")
+        if not self.queries:
+            raise WorkloadError(f"transaction {self.name!r} has no queries")
+        object.__setattr__(self, "queries", tuple(self.queries))
+
+    @property
+    def read_attributes(self) -> frozenset[str]:
+        """Attributes read by any query of the transaction (``phi_{a,t}``)."""
+        read: set[str] = set()
+        for query in self.queries:
+            if not query.is_write:
+                read |= query.attributes
+        return frozenset(read)
+
+    @property
+    def written_attributes(self) -> frozenset[str]:
+        written: set[str] = set()
+        for query in self.queries:
+            if query.is_write:
+                written |= query.attributes
+        return frozenset(written)
+
+    @property
+    def tables(self) -> frozenset[str]:
+        tables: set[str] = set()
+        for query in self.queries:
+            tables |= query.tables
+        return frozenset(tables)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+
+class Workload:
+    """All transactions of a problem instance.
+
+    Every query belongs to exactly one transaction (the paper's
+    ``gamma_{q,t}`` is a function of ``q``); query names must therefore
+    be globally unique.
+    """
+
+    def __init__(self, transactions: Iterable[Transaction], name: str = "workload"):
+        self.name = name
+        self._transactions: tuple[Transaction, ...] = tuple(transactions)
+        if not self._transactions:
+            raise WorkloadError("workload must contain at least one transaction")
+        seen_transactions: set[str] = set()
+        seen_queries: dict[str, str] = {}
+        for transaction in self._transactions:
+            if transaction.name in seen_transactions:
+                raise WorkloadError(f"duplicate transaction {transaction.name!r}")
+            seen_transactions.add(transaction.name)
+            for query in transaction:
+                if query.name in seen_queries:
+                    raise WorkloadError(
+                        f"query {query.name!r} appears in both "
+                        f"{seen_queries[query.name]!r} and {transaction.name!r}; "
+                        f"query names must be unique across the workload"
+                    )
+                seen_queries[query.name] = transaction.name
+
+    @property
+    def transactions(self) -> tuple[Transaction, ...]:
+        return self._transactions
+
+    @property
+    def queries(self) -> tuple[Query, ...]:
+        """All queries in canonical (transaction, position) order."""
+        return tuple(query for transaction in self._transactions for query in transaction)
+
+    def transaction(self, name: str) -> Transaction:
+        for transaction in self._transactions:
+            if transaction.name == name:
+                return transaction
+        raise WorkloadError(f"workload has no transaction {name!r}")
+
+    def transaction_of(self, query_name: str) -> Transaction:
+        """Return the transaction owning ``query_name``."""
+        for transaction in self._transactions:
+            for query in transaction:
+                if query.name == query_name:
+                    return transaction
+        raise WorkloadError(f"workload has no query {query_name!r}")
+
+    def validate_against(self, schema: Schema) -> None:
+        """Check that every referenced attribute/table exists in ``schema``."""
+        for transaction in self._transactions:
+            for query in transaction:
+                for qualified in query.attributes:
+                    if not schema.has_attribute(qualified):
+                        raise WorkloadError(
+                            f"query {query.name!r} references unknown attribute "
+                            f"{qualified!r}"
+                        )
+                for table in query.extra_tables:
+                    if not schema.has_table(table):
+                        raise WorkloadError(
+                            f"query {query.name!r} references unknown table {table!r}"
+                        )
+                for table in query.rows:
+                    if not schema.has_table(table):
+                        raise WorkloadError(
+                            f"query {query.name!r} has row statistics for unknown "
+                            f"table {table!r}"
+                        )
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload({self.name!r}, transactions={len(self)}, "
+            f"queries={len(self.queries)})"
+        )

@@ -1,0 +1,12 @@
+"""Partitioning results and per-site layouts."""
+
+from repro.partition.assignment import PartitioningResult, single_site_partitioning
+from repro.partition.layout import SiteLayout, build_layout, render_layout
+
+__all__ = [
+    "PartitioningResult",
+    "single_site_partitioning",
+    "SiteLayout",
+    "build_layout",
+    "render_layout",
+]

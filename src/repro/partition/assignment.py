@@ -1,0 +1,119 @@
+"""The result object returned by every partitioning algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.costmodel.coefficients import CostCoefficients
+from repro.costmodel.evaluator import (
+    CostBreakdown,
+    SolutionEvaluator,
+    feasibility_violations,
+)
+from repro.exceptions import InstanceError
+
+
+@dataclass
+class PartitioningResult:
+    """A vertical partitioning: transaction and attribute placements.
+
+    Attributes
+    ----------
+    coefficients:
+        The cost data the solution was produced (and is evaluated) under.
+    x:
+        Boolean ``(|T|, |S|)`` transaction placement.
+    y:
+        Boolean ``(|A|, |S|)`` attribute placement (replicas allowed).
+    objective:
+        Objective (4) — the paper's reported "actual cost".
+    solver:
+        Human-readable solver name ("qp", "sa", "affinity", ...).
+    wall_time:
+        Seconds spent producing the solution.
+    proven_optimal:
+        True when the solver proved optimality within its gap; the
+        paper prints non-proven costs in parentheses.
+    metadata:
+        Free-form extras (model sizes, iteration counts, ...).
+    """
+
+    coefficients: CostCoefficients
+    x: np.ndarray
+    y: np.ndarray
+    objective: float
+    solver: str
+    wall_time: float = 0.0
+    proven_optimal: bool = False
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=bool)
+        self.y = np.asarray(self.y, dtype=bool)
+        violations = feasibility_violations(self.coefficients, self.x, self.y)
+        if violations:
+            preview = "; ".join(violations[:5])
+            raise InstanceError(
+                f"infeasible partitioning from solver {self.solver!r}: {preview}"
+            )
+
+    @property
+    def num_sites(self) -> int:
+        return int(self.x.shape[1])
+
+    @property
+    def instance(self):
+        return self.coefficients.instance
+
+    def evaluator(self) -> SolutionEvaluator:
+        return SolutionEvaluator(self.coefficients)
+
+    def breakdown(self) -> CostBreakdown:
+        """Full cost decomposition of this solution."""
+        return self.evaluator().breakdown(self.x, self.y)
+
+    def transaction_site(self, name: str) -> int:
+        """The site index executing transaction ``name``."""
+        t_index = self.instance.transaction_index[name]
+        return int(np.argmax(self.x[t_index]))
+
+    def attribute_sites(self, qualified_name: str) -> tuple[int, ...]:
+        """All sites holding a replica of ``qualified_name``."""
+        a_index = self.instance.attribute_index[qualified_name]
+        return tuple(int(s) for s in np.flatnonzero(self.y[a_index]))
+
+    @property
+    def replication_factor(self) -> float:
+        """Mean number of replicas per attribute (1.0 = disjoint)."""
+        return float(self.y.sum() / self.y.shape[0])
+
+    @property
+    def is_disjoint(self) -> bool:
+        return bool((self.y.sum(axis=1) == 1).all())
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitioningResult(solver={self.solver!r}, sites={self.num_sites}, "
+            f"objective={self.objective:.6g}, replication={self.replication_factor:.2f}, "
+            f"optimal={self.proven_optimal})"
+        )
+
+
+def single_site_partitioning(coefficients: CostCoefficients) -> PartitioningResult:
+    """The trivial |S| = 1 baseline used throughout the paper's tables."""
+    num_transactions = coefficients.num_transactions
+    num_attributes = coefficients.num_attributes
+    x = np.ones((num_transactions, 1), dtype=bool)
+    y = np.ones((num_attributes, 1), dtype=bool)
+    evaluator = SolutionEvaluator(coefficients)
+    return PartitioningResult(
+        coefficients=coefficients,
+        x=x,
+        y=y,
+        objective=evaluator.objective4(x, y),
+        solver="single-site",
+        proven_optimal=True,
+    )

@@ -1,0 +1,107 @@
+"""Per-site layouts and Table-4-style rendering.
+
+The paper's Table 4 shows, per site, the transactions assigned there and
+the attributes (table fractions) stored there. :func:`render_layout`
+reproduces that presentation as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.assignment import PartitioningResult
+
+
+@dataclass(frozen=True)
+class SiteLayout:
+    """What one site hosts."""
+
+    site: int
+    transactions: tuple[str, ...]
+    attributes: tuple[str, ...]
+    #: Table name -> attribute names of the local fraction.
+    fractions: dict[str, tuple[str, ...]]
+
+    @property
+    def fraction_widths(self) -> dict[str, float]:
+        """Bytes per row of each local table fraction (filled by build_layout)."""
+        return dict(self._fraction_widths)  # type: ignore[attr-defined]
+
+
+def build_layout(result: PartitioningResult) -> list[SiteLayout]:
+    """Decompose a partitioning into per-site :class:`SiteLayout` objects."""
+    instance = result.instance
+    layouts: list[SiteLayout] = []
+    for site in range(result.num_sites):
+        transactions = tuple(
+            instance.transactions[t].name for t in np.flatnonzero(result.x[:, site])
+        )
+        attribute_indices = np.flatnonzero(result.y[:, site])
+        attributes = tuple(
+            instance.attributes[a].qualified_name for a in attribute_indices
+        )
+        fractions: dict[str, list[str]] = {}
+        widths: dict[str, float] = {}
+        for a_index in attribute_indices:
+            attribute = instance.attributes[a_index]
+            fractions.setdefault(attribute.table, []).append(attribute.name)
+            widths[attribute.table] = widths.get(attribute.table, 0.0) + attribute.width
+        layout = SiteLayout(
+            site=site,
+            transactions=transactions,
+            attributes=attributes,
+            fractions={table: tuple(names) for table, names in sorted(fractions.items())},
+        )
+        object.__setattr__(layout, "_fraction_widths", widths)
+        layouts.append(layout)
+    return layouts
+
+
+def render_layout(result: PartitioningResult, max_rows: int | None = None) -> str:
+    """Render a partitioning in the style of the paper's Table 4.
+
+    One column per site; a transactions section followed by the
+    attribute list. Columns are padded to equal height.
+    """
+    layouts = build_layout(result)
+    columns: list[list[str]] = []
+    for layout in layouts:
+        lines = [f"Site {layout.site + 1}", "-" * 24]
+        lines.extend(f"Transaction {name}" for name in sorted(layout.transactions))
+        lines.append("")
+        lines.extend(sorted(layout.attributes))
+        columns.append(lines)
+
+    height = max(len(column) for column in columns)
+    if max_rows is not None:
+        height = min(height, max_rows)
+    width = max((len(line) for column in columns for line in column), default=10) + 2
+    rendered_rows: list[str] = []
+    for row in range(height):
+        cells = [
+            (column[row] if row < len(column) else "").ljust(width)
+            for column in columns
+        ]
+        rendered_rows.append("".join(cells).rstrip())
+    truncated = any(len(column) > height for column in columns)
+    if truncated:
+        rendered_rows.append("... (truncated)")
+    return "\n".join(rendered_rows)
+
+
+def layout_summary(result: PartitioningResult) -> str:
+    """One line per site: transaction count, attribute count, load share."""
+    layouts = build_layout(result)
+    loads = result.evaluator().site_loads(result.x, result.y)
+    total = float(loads.sum()) or 1.0
+    lines = []
+    for layout in layouts:
+        load = float(loads[layout.site])
+        lines.append(
+            f"site {layout.site + 1}: {len(layout.transactions)} txns, "
+            f"{len(layout.attributes)} attrs, load {load:.3g} "
+            f"({100.0 * load / total:.1f}%)"
+        )
+    return "\n".join(lines)

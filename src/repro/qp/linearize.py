@@ -1,0 +1,253 @@
+"""Build the linearised MIP (7) from cost coefficients.
+
+The quadratic terms ``x[t,s] * y[a,s]`` are replaced by continuous
+variables ``u[t,a,s]`` with the three inequalities of Section 2.3:
+
+* ``u <= x``, ``u <= y`` (binding when the coefficient is negative —
+  ``c1`` contains the negative transfer-rebate term), and
+* ``u >= x + y - 1`` (binding when the coefficient is positive).
+
+``u`` is created only for ``(a, t)`` pairs whose coefficient in the
+objective (``c1``) or the load constraint (``c3``) is non-zero, which
+keeps the model far smaller than the dense ``|A| * |T| * |S|`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.costmodel.coefficients import CostCoefficients
+from repro.costmodel.config import WriteAccounting
+from repro.exceptions import SolverError
+from repro.solver.expr import LinExpr, Variable
+from repro.solver.model import MipModel
+
+
+@dataclass
+class LinearizedModel:
+    """The MIP together with the variable handles needed for extraction."""
+
+    model: MipModel
+    coefficients: CostCoefficients
+    num_sites: int
+    x_vars: np.ndarray  # (|T|, |S|) of Variable
+    y_vars: np.ndarray  # (|A|, |S|) of Variable
+    u_vars: dict[tuple[int, int, int], Variable] = field(default_factory=dict)
+    m_var: Variable | None = None
+    psi_vars: dict[int, Variable] = field(default_factory=dict)
+
+    def extract(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Recover boolean ``(x, y)`` matrices from a solution vector."""
+        num_transactions, num_sites = self.x_vars.shape
+        num_attributes = self.y_vars.shape[0]
+        x = np.zeros((num_transactions, num_sites), dtype=bool)
+        y = np.zeros((num_attributes, num_sites), dtype=bool)
+        for t in range(num_transactions):
+            for s in range(num_sites):
+                x[t, s] = values[self.x_vars[t, s].index] > 0.5
+        for a in range(num_attributes):
+            for s in range(num_sites):
+                y[a, s] = values[self.y_vars[a, s].index] > 0.5
+        return x, y
+
+    def incumbent_vector(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Encode a known solution as a warm-start vector for the solver."""
+        values = np.zeros(self.model.num_variables)
+        for t in range(self.x_vars.shape[0]):
+            for s in range(self.num_sites):
+                values[self.x_vars[t, s].index] = float(x[t, s])
+        for a in range(self.y_vars.shape[0]):
+            for s in range(self.num_sites):
+                values[self.y_vars[a, s].index] = float(y[a, s])
+        for (t, a, s), variable in self.u_vars.items():
+            values[variable.index] = float(bool(x[t, s]) and bool(y[a, s]))
+        if self.m_var is not None:
+            from repro.costmodel.evaluator import SolutionEvaluator
+
+            loads = SolutionEvaluator(self.coefficients).site_loads(x, y)
+            values[self.m_var.index] = float(loads.max())
+        if self.psi_vars:
+            values = self._fill_psi(values, x, y)
+        return values
+
+    def _fill_psi(self, values: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        indicators = self.coefficients.indicators
+        owner = self.coefficients.instance.query_transaction
+        home = np.argmax(x, axis=1)
+        for q_index, psi in self.psi_vars.items():
+            site = home[owner[q_index]]
+            updated = np.flatnonzero(indicators.alpha[:, q_index] > 0)
+            remote = int(y[updated].sum() - y[updated, site].sum())
+            values[psi.index] = 1.0 if remote > 0 else 0.0
+        return values
+
+
+def build_linearized_model(
+    coefficients: CostCoefficients,
+    num_sites: int,
+    allow_replication: bool = True,
+    latency: bool = False,
+    symmetry_breaking: bool = True,
+) -> LinearizedModel:
+    """Construct the linearised model (7).
+
+    Parameters
+    ----------
+    allow_replication:
+        When False, ``sum_s y[a,s] == 1`` (Table 5's disjoint variant)
+        instead of ``>= 1``.
+    latency:
+        Add Appendix A's ``psi_q`` latency variables and constraints
+        (requires ``latency_penalty > 0`` in the cost parameters to have
+        any effect on the objective).
+    symmetry_breaking:
+        Sites are homogeneous, so transaction ``t`` may be restricted to
+        sites ``0..t`` without losing any solution; prunes the search
+        considerably.
+    """
+    if num_sites < 1:
+        raise SolverError(f"need at least one site, got {num_sites}")
+    parameters = coefficients.parameters
+    if parameters.write_accounting is WriteAccounting.RELEVANT_ATTRIBUTES:
+        raise SolverError(
+            "the linearised QP only supports the ALL_ATTRIBUTES / "
+            "NO_ATTRIBUTES write accounting (Section 2.1 explains why "
+            "RELEVANT_ATTRIBUTES needs |A|^2 |S| extra variables)"
+        )
+    lam = parameters.load_balance_lambda
+    num_transactions = coefficients.num_transactions
+    num_attributes = coefficients.num_attributes
+    instance = coefficients.instance
+
+    model = MipModel(f"qp[{instance.name},S={num_sites}]")
+
+    x_vars = np.empty((num_transactions, num_sites), dtype=object)
+    for t in range(num_transactions):
+        name = instance.transactions[t].name
+        for s in range(num_sites):
+            x_vars[t, s] = model.binary_variable(f"x[{name},{s}]")
+    y_vars = np.empty((num_attributes, num_sites), dtype=object)
+    for a in range(num_attributes):
+        name = instance.attributes[a].qualified_name
+        for s in range(num_sites):
+            y_vars[a, s] = model.binary_variable(f"y[{name},{s}]")
+
+    # --- placement constraints ---------------------------------------
+    for t in range(num_transactions):
+        model.add_constraint(
+            LinExpr.from_terms((x_vars[t, s], 1.0) for s in range(num_sites)) == 1,
+            name=f"place_x[{t}]",
+        )
+    for a in range(num_attributes):
+        total = LinExpr.from_terms((y_vars[a, s], 1.0) for s in range(num_sites))
+        if allow_replication:
+            model.add_constraint(total >= 1, name=f"place_y[{a}]")
+        else:
+            model.add_constraint(total == 1, name=f"place_y[{a}]")
+
+    # --- read co-location (single-sitedness) --------------------------
+    phi = coefficients.phi_bool
+    for a, t in zip(*np.nonzero(phi)):
+        for s in range(num_sites):
+            model.add_constraint(
+                y_vars[a, s] - x_vars[t, s] >= 0, name=f"coloc[{a},{t},{s}]"
+            )
+
+    # --- linearisation variables --------------------------------------
+    need_pair = (coefficients.c1 != 0) | ((lam < 1.0) & (coefficients.c3 != 0))
+    if latency:
+        indicators = coefficients.indicators
+        write_alpha = (
+            indicators.alpha * indicators.delta[None, :]
+        ) @ indicators.gamma  # (|A|, |T|)
+        need_pair = need_pair | (write_alpha > 0)
+    u_vars: dict[tuple[int, int, int], Variable] = {}
+    for a, t in zip(*np.nonzero(need_pair)):
+        for s in range(num_sites):
+            u = model.add_variable(f"u[{t},{a},{s}]", lower=0.0, upper=1.0)
+            u_vars[(int(t), int(a), int(s))] = u
+            model.add_constraint(u - x_vars[t, s] <= 0)
+            model.add_constraint(u - y_vars[a, s] <= 0)
+            model.add_constraint(u - x_vars[t, s] - y_vars[a, s] >= -1)
+
+    # --- objective -----------------------------------------------------
+    objective_terms: list[tuple[Variable, float]] = []
+    for (t, a, s), u in u_vars.items():
+        coefficient = lam * coefficients.c1[a, t]
+        if coefficient != 0.0:
+            objective_terms.append((u, coefficient))
+    for a in range(num_attributes):
+        coefficient = lam * coefficients.c2[a]
+        if coefficient != 0.0:
+            for s in range(num_sites):
+                objective_terms.append((y_vars[a, s], coefficient))
+
+    m_var: Variable | None = None
+    if lam < 1.0:
+        m_var = model.add_variable("m", lower=0.0)
+        objective_terms.append((m_var, 1.0 - lam))
+        for s in range(num_sites):
+            load_terms: list[tuple[Variable, float]] = []
+            for (t, a, s2), u in u_vars.items():
+                if s2 == s and coefficients.c3[a, t] != 0.0:
+                    load_terms.append((u, coefficients.c3[a, t]))
+            for a in range(num_attributes):
+                if coefficients.c4[a] != 0.0:
+                    load_terms.append((y_vars[a, s], coefficients.c4[a]))
+            load_terms.append((m_var, -1.0))
+            model.add_constraint(
+                LinExpr.from_terms(load_terms) <= 0, name=f"load[{s}]"
+            )
+
+    # --- Appendix A latency --------------------------------------------
+    psi_vars: dict[int, Variable] = {}
+    if latency and parameters.latency_penalty > 0:
+        indicators = coefficients.indicators
+        owner = instance.query_transaction
+        frequencies = [query.frequency for query in instance.queries]
+        for q_index in np.flatnonzero(indicators.delta > 0):
+            t = owner[q_index]
+            updated = np.flatnonzero(indicators.alpha[:, q_index] > 0)
+            if updated.size == 0:
+                continue
+            psi = model.binary_variable(f"psi[{instance.queries[q_index].name}]")
+            psi_vars[int(q_index)] = psi
+            # n_q = sum_a alpha (sum_s y[a,s] - sum_s u[t,a,s])
+            n_terms: list[tuple[Variable, float]] = []
+            for a in updated:
+                for s in range(num_sites):
+                    n_terms.append((y_vars[a, s], 1.0))
+                    n_terms.append((u_vars[(int(t), int(a), int(s))], -1.0))
+            big_m = float(updated.size * num_sites)
+            # psi <= n_q  (n = 0 forces psi = 0)
+            model.add_constraint(
+                LinExpr.from_terms(n_terms) - psi >= 0, name=f"psi_ub[{q_index}]"
+            )
+            # n_q <= M * psi  (n > 0 forces psi = 1)
+            model.add_constraint(
+                LinExpr.from_terms(n_terms) - big_m * psi <= 0,
+                name=f"psi_lb[{q_index}]",
+            )
+            objective_terms.append(
+                (psi, lam * parameters.latency_penalty * float(frequencies[q_index]))
+            )
+
+    # --- symmetry breaking ----------------------------------------------
+    if symmetry_breaking:
+        for t in range(min(num_transactions, num_sites - 1)):
+            for s in range(t + 1, num_sites):
+                model.add_constraint(x_vars[t, s] <= 0, name=f"sym[{t},{s}]")
+
+    model.minimize(LinExpr.from_terms(objective_terms))
+    return LinearizedModel(
+        model=model,
+        coefficients=coefficients,
+        num_sites=num_sites,
+        x_vars=x_vars,
+        y_vars=y_vars,
+        u_vars=u_vars,
+        m_var=m_var,
+        psi_vars=psi_vars,
+    )

@@ -1,0 +1,19 @@
+"""Problem-size reductions (Section 4 of the paper).
+
+* :mod:`repro.reduction.cuts` — "reasonable cuts": attributes of one
+  table accessed by exactly the same set of queries can be fused into an
+  atomic group, shrinking ``|A|`` without changing the optimum.
+* :mod:`repro.reduction.heavy` — the 20/80 rule: solve the heaviest
+  transactions first and extend the solution to the full workload.
+"""
+
+from repro.reduction.cuts import attribute_groups, GroupedInstance, group_instance
+from repro.reduction.heavy import IterativeRefinement, solve_iterative
+
+__all__ = [
+    "attribute_groups",
+    "GroupedInstance",
+    "group_instance",
+    "IterativeRefinement",
+    "solve_iterative",
+]

@@ -1,0 +1,17 @@
+"""The SA solver: the paper's simulated-annealing heuristic (Section 3).
+
+Algorithm 1 alternately fixes the transaction vector ``x`` or the
+attribute vector ``y`` and re-optimises the free one (``findSolution``),
+perturbing the fixed vector through a neighbourhood move (relocating
+~10% of the transactions / extending replication for ~10% of the
+attributes) and accepting worse solutions with probability
+``exp(-delta / tau)`` under a geometric cooling schedule. The initial
+temperature follows Section 5.1: accept a 5%-worse solution with 50%
+probability in the first iterations.
+"""
+
+from repro.sa.options import SaOptions
+from repro.sa.annealer import SimulatedAnnealer
+from repro.sa.solver import SaPartitioner, solve_sa
+
+__all__ = ["SaOptions", "SimulatedAnnealer", "SaPartitioner", "solve_sa"]

@@ -1,0 +1,245 @@
+"""Algorithm 1: the simulated-annealing loop."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.coefficients import CostCoefficients
+from repro.costmodel.evaluator import SolutionEvaluator
+from repro.sa.neighborhood import (
+    extend_replication,
+    merge_sites,
+    move_components,
+    move_transactions,
+)
+from repro.sa.options import (
+    INITIAL_ACCEPT_PROBABILITY,
+    INITIAL_WORSE_FRACTION,
+    SaOptions,
+)
+from repro.sa.state import (
+    component_placement_to_x,
+    random_transaction_placement,
+    read_sharing_components,
+)
+from repro.sa.subsolve import SubproblemSolver
+
+
+@dataclass
+class AnnealingTrace:
+    """Progress record of one annealing run (for tests and plots)."""
+
+    iterations: int = 0
+    accepted: int = 0
+    accepted_worse: int = 0
+    outer_loops: int = 0
+    best_history: list[float] = None  # best objective6 after each outer loop
+
+    def __post_init__(self) -> None:
+        if self.best_history is None:
+            self.best_history = []
+
+
+class SimulatedAnnealer:
+    """Runs Algorithm 1 against fixed cost coefficients.
+
+    The annealer minimises the blended objective (6); the best visited
+    solution (by objective (6)) is returned together with its objective
+    (4) value, matching the paper's reporting convention.
+    """
+
+    def __init__(
+        self,
+        coefficients: CostCoefficients,
+        num_sites: int,
+        options: SaOptions | None = None,
+    ):
+        self.coefficients = coefficients
+        self.num_sites = num_sites
+        self.options = options or SaOptions()
+        self.evaluator = SolutionEvaluator(coefficients)
+        self.subsolver = SubproblemSolver(coefficients, num_sites)
+        self.trace = AnnealingTrace()
+
+    # ------------------------------------------------------------------
+    def run(self) -> tuple[np.ndarray, np.ndarray, float]:
+        """Anneal and return ``(x, y, best_objective6)``."""
+        options = self.options
+        rng = np.random.default_rng(options.seed)
+        started = time.perf_counter()
+
+        if options.disjoint:
+            return self._run_disjoint(rng, started)
+
+        # Line 3-5: random x, findSolution with x fixed.
+        x = random_transaction_placement(
+            self.coefficients.num_transactions, self.num_sites, rng
+        )
+        y = self._find_solution("x", x, np.zeros_like(x[:0]))  # y from x
+        current_cost = self.evaluator.objective6(x, y)
+        best_x, best_y, best_cost = x, y, current_cost
+
+        # Section 5.1 temperature rule.
+        tau = initial_temperature(best_cost)
+        freeze_tau = tau * options.freeze_ratio
+        fix = "x"
+        stale_outer = 0
+
+        for outer in range(options.max_outer_loops):
+            improved = False
+            for _ in range(options.inner_loops):
+                self.trace.iterations += 1
+                if (
+                    options.time_limit is not None
+                    and time.perf_counter() - started > options.time_limit
+                ):
+                    self._finish(outer + 1)
+                    return best_x, best_y, best_cost
+                # Lines 8-10: perturb both vectors, re-optimise the free one.
+                if rng.random() < options.merge_probability:
+                    candidate_x = merge_sites(x, rng)
+                else:
+                    candidate_x = move_transactions(x, rng, options.move_fraction)
+                candidate_y = extend_replication(y, rng, options.move_fraction)
+                if fix == "x":
+                    new_x = candidate_x
+                    new_y = self._optimize_y(new_x)
+                else:
+                    new_x = self._optimize_x(candidate_y)
+                    new_y = self.subsolver.repair_y(new_x, candidate_y)
+                new_cost = self.evaluator.objective6(new_x, new_y)
+                delta = new_cost - current_cost
+                if delta <= 0 or rng.random() < math.exp(-delta / tau):
+                    self.trace.accepted += 1
+                    if delta > 0:
+                        self.trace.accepted_worse += 1
+                    x, y, current_cost = new_x, new_y, new_cost
+                    if current_cost < best_cost:
+                        best_x, best_y, best_cost = x, y, current_cost
+                        improved = True
+                fix = "y" if fix == "x" else "x"
+            tau *= options.cooling_rate
+            self.trace.outer_loops = outer + 1
+            self.trace.best_history.append(best_cost)
+            stale_outer = 0 if improved else stale_outer + 1
+            if tau < freeze_tau or stale_outer >= options.patience:
+                break
+        self._finish(self.trace.outer_loops)
+        return self._best_against_collapsed(best_x, best_y, best_cost)
+
+    # ------------------------------------------------------------------
+    def _run_disjoint(
+        self, rng: np.random.Generator, started: float
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Disjoint variant: anneal over component placements.
+
+        Transactions sharing read attributes must be co-located when no
+        replication is allowed, so the unit of movement is the connected
+        component of the read-sharing graph and ``y`` follows ``x``
+        deterministically via the disjoint sub-solver.
+        """
+        options = self.options
+        labels = read_sharing_components(self.coefficients)
+        num_components = int(labels.max()) + 1
+        assignment = rng.integers(0, self.num_sites, size=num_components)
+        x = component_placement_to_x(labels, assignment, self.num_sites)
+        y = self.subsolver.optimize_y_greedy(x, disjoint=True)
+        current_cost = self.evaluator.objective6(x, y)
+        best = (x, y, current_cost)
+
+        tau = initial_temperature(current_cost)
+        freeze_tau = tau * options.freeze_ratio
+        stale_outer = 0
+        for outer in range(options.max_outer_loops):
+            improved = False
+            for _ in range(options.inner_loops):
+                self.trace.iterations += 1
+                if (
+                    options.time_limit is not None
+                    and time.perf_counter() - started > options.time_limit
+                ):
+                    self._finish(outer + 1)
+                    return best
+                candidate = move_components(
+                    assignment, self.num_sites, rng, options.move_fraction
+                )
+                new_x = component_placement_to_x(labels, candidate, self.num_sites)
+                new_y = self.subsolver.optimize_y_greedy(new_x, disjoint=True)
+                new_cost = self.evaluator.objective6(new_x, new_y)
+                delta = new_cost - current_cost
+                if delta <= 0 or rng.random() < math.exp(-delta / tau):
+                    self.trace.accepted += 1
+                    if delta > 0:
+                        self.trace.accepted_worse += 1
+                    assignment, x, y, current_cost = candidate, new_x, new_y, new_cost
+                    if current_cost < best[2]:
+                        best = (x, y, current_cost)
+                        improved = True
+            tau *= options.cooling_rate
+            self.trace.outer_loops = outer + 1
+            self.trace.best_history.append(best[2])
+            stale_outer = 0 if improved else stale_outer + 1
+            if tau < freeze_tau or stale_outer >= options.patience:
+                break
+        self._finish(self.trace.outer_loops)
+        return self._best_against_collapsed(*best)
+
+    # ------------------------------------------------------------------
+    def _best_against_collapsed(
+        self, best_x: np.ndarray, best_y: np.ndarray, best_cost: float
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Guard: never return worse than the trivial one-site layout.
+
+        The all-on-one-site solution is always feasible for any |S|;
+        on low-potential instances (the paper's rndB class, where its
+        Table 3 reports SA == S=1) it is frequently optimal, and this
+        makes that outcome deterministic instead of search-dependent.
+        """
+        num_transactions = self.coefficients.num_transactions
+        x = np.zeros((num_transactions, self.num_sites), dtype=bool)
+        x[:, 0] = True
+        y = self.subsolver.optimize_y_greedy(x, disjoint=self.options.disjoint)
+        cost = self.evaluator.objective6(x, y)
+        if cost < best_cost:
+            return x, y, cost
+        return best_x, best_y, best_cost
+
+    def _optimize_y(self, x: np.ndarray) -> np.ndarray:
+        if self.options.subsolver == "exact":
+            return self.subsolver.optimize_y_exact(
+                x, time_limit=self.options.exact_time_limit
+            )
+        return self.subsolver.optimize_y_greedy(x)
+
+    def _optimize_x(self, y: np.ndarray) -> np.ndarray:
+        if self.options.subsolver == "exact":
+            return self.subsolver.optimize_x_exact(
+                y, time_limit=self.options.exact_time_limit
+            )
+        return self.subsolver.optimize_x_greedy(y)
+
+    def _find_solution(self, fix: str, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        if fix == "x":
+            return self._optimize_y(x)
+        return self._optimize_x(y)
+
+    def _finish(self, outer_loops: int) -> None:
+        self.trace.outer_loops = outer_loops
+
+
+def initial_temperature(
+    reference_cost: float,
+    worse_fraction: float = INITIAL_WORSE_FRACTION,
+    accept_probability: float = INITIAL_ACCEPT_PROBABILITY,
+) -> float:
+    """Section 5.1: ``tau = -worse_fraction * C* / ln(accept_probability)``.
+
+    Chosen so a solution ``worse_fraction`` worse than the reference is
+    accepted with ``accept_probability`` in the first iterations.
+    """
+    reference_cost = max(abs(reference_cost), 1e-12)
+    return -worse_fraction * reference_cost / math.log(accept_probability)

@@ -1,0 +1,68 @@
+"""Tuning knobs of the SA solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SolverError
+
+#: Section 5.1: accept a solution that is WORSE_FRACTION worse with
+#: ACCEPT_PROBABILITY in the first iterations; fixes the initial
+#: temperature tau = -WORSE_FRACTION * C* / ln(ACCEPT_PROBABILITY).
+INITIAL_WORSE_FRACTION = 0.05
+INITIAL_ACCEPT_PROBABILITY = 0.5
+
+
+@dataclass(frozen=True)
+class SaOptions:
+    """Options for :class:`~repro.sa.annealer.SimulatedAnnealer`.
+
+    Defaults follow the paper where it is specific (10% neighbourhood
+    moves, Section 5.1 temperature rule) and common SA practice where it
+    is not (cooling rate, loop counts).
+    """
+
+    #: Number of inner-loop iterations L per temperature level.
+    inner_loops: int = 20
+    #: Geometric cooling factor rho in (0, 1).
+    cooling_rate: float = 0.9
+    #: Fraction of transactions/attributes perturbed per move (paper: 10%).
+    move_fraction: float = 0.1
+    #: Freeze when tau falls below ``initial_tau * freeze_ratio``.
+    freeze_ratio: float = 1e-3
+    #: Hard cap on outer (temperature) loops.
+    max_outer_loops: int = 60
+    #: Stop after this many outer loops without improving the best cost.
+    patience: int = 10
+    #: Wall-clock budget in seconds (None = unlimited).
+    time_limit: float | None = None
+    #: RNG seed for reproducible runs.
+    seed: int | None = None
+    #: ``findSolution`` implementation: "greedy" (vectorised, fast) or
+    #: "exact" (a small MIP per iteration, like the paper's 30s-budget
+    #: GLPK sub-solves).
+    subsolver: str = "greedy"
+    #: Time budget per exact sub-solve (paper: 30 seconds).
+    exact_time_limit: float = 30.0
+    #: Disallow attribute replication (disjoint partitioning).
+    disjoint: bool = False
+    #: Probability that an x-move merges a whole site into another
+    #: instead of relocating a random 10% (escapes plateaus on
+    #: instances where every query touches most attributes).
+    merge_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.inner_loops < 1:
+            raise SolverError("inner_loops must be >= 1")
+        if not 0.0 < self.cooling_rate < 1.0:
+            raise SolverError("cooling_rate must be in (0, 1)")
+        if not 0.0 < self.move_fraction <= 1.0:
+            raise SolverError("move_fraction must be in (0, 1]")
+        if self.subsolver not in ("greedy", "exact"):
+            raise SolverError(f"unknown subsolver {self.subsolver!r}")
+        if self.max_outer_loops < 1:
+            raise SolverError("max_outer_loops must be >= 1")
+
+
+#: A configuration tuned for speed, used by the large Table-1 sweeps.
+FAST_OPTIONS = SaOptions(inner_loops=10, max_outer_loops=25, patience=6)

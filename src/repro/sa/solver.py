@@ -1,0 +1,80 @@
+"""Facade turning the annealer into a :class:`PartitioningResult`."""
+
+from __future__ import annotations
+
+import time
+
+from repro.costmodel.coefficients import CostCoefficients, build_coefficients
+from repro.costmodel.config import CostParameters
+from repro.costmodel.evaluator import SolutionEvaluator
+from repro.exceptions import SolverError
+from repro.model.instance import ProblemInstance
+from repro.partition.assignment import PartitioningResult
+from repro.sa.annealer import SimulatedAnnealer
+from repro.sa.options import SaOptions
+
+
+class SaPartitioner:
+    """Simulated-annealing vertical partitioning (the paper's SA solver)."""
+
+    def __init__(
+        self,
+        instance: ProblemInstance | CostCoefficients,
+        num_sites: int,
+        parameters: CostParameters | None = None,
+        options: SaOptions | None = None,
+    ):
+        if isinstance(instance, CostCoefficients):
+            self.coefficients = instance
+            if parameters is not None and parameters != instance.parameters:
+                raise SolverError(
+                    "pass either prebuilt coefficients or parameters, not "
+                    "conflicting versions of both"
+                )
+        else:
+            self.coefficients = build_coefficients(instance, parameters)
+        if num_sites < 1:
+            raise SolverError(f"need at least one site, got {num_sites}")
+        self.num_sites = num_sites
+        self.options = options or SaOptions()
+
+    def solve(self) -> PartitioningResult:
+        started = time.perf_counter()
+        annealer = SimulatedAnnealer(self.coefficients, self.num_sites, self.options)
+        x, y, objective6 = annealer.run()
+        wall_time = time.perf_counter() - started
+        evaluator = SolutionEvaluator(self.coefficients)
+        return PartitioningResult(
+            coefficients=self.coefficients,
+            x=x,
+            y=y,
+            objective=evaluator.objective4(x, y),
+            solver="sa",
+            wall_time=wall_time,
+            proven_optimal=False,
+            metadata={
+                "objective6": objective6,
+                "iterations": annealer.trace.iterations,
+                "accepted": annealer.trace.accepted,
+                "accepted_worse": annealer.trace.accepted_worse,
+                "outer_loops": annealer.trace.outer_loops,
+                "disjoint": self.options.disjoint,
+                "subsolver": self.options.subsolver,
+            },
+        )
+
+
+def solve_sa(
+    instance: ProblemInstance,
+    num_sites: int,
+    parameters: CostParameters | None = None,
+    options: SaOptions | None = None,
+    seed: int | None = None,
+) -> PartitioningResult:
+    """One-call convenience wrapper around :class:`SaPartitioner`."""
+    if seed is not None:
+        from dataclasses import replace
+
+        options = replace(options or SaOptions(), seed=seed)
+    partitioner = SaPartitioner(instance, num_sites, parameters=parameters, options=options)
+    return partitioner.solve()

@@ -1,0 +1,292 @@
+"""``findSolution(fix)``: optimise the free vector with the other fixed.
+
+With one of ``x`` / ``y`` held constant the quadratic model collapses to
+a (generalised-assignment-like) linear problem. Two implementations:
+
+* a vectorised greedy that is exact for the pure-cost part and
+  locally optimal for the ``(1 - lambda) * max`` load term, and
+* an exact small-MIP solve (what the paper's GLPK sub-solves with a
+  30-second budget did).
+
+Both respect the read co-location constraint: with ``x`` fixed, every
+attribute read by a transaction is forced onto that transaction's site;
+with ``y`` fixed, transactions may only go to sites holding all the
+attributes they read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.coefficients import CostCoefficients
+from repro.exceptions import SolverError
+from repro.solver.expr import LinExpr
+from repro.solver.model import MipModel
+from repro.solver.solution import SolutionStatus
+
+
+class SubproblemSolver:
+    """Shared precomputation for the two sub-problems."""
+
+    def __init__(self, coefficients: CostCoefficients, num_sites: int):
+        self.coefficients = coefficients
+        self.num_sites = num_sites
+        self.lam = coefficients.parameters.load_balance_lambda
+        self.phi = coefficients.phi_bool.astype(float)  # (|A|, |T|)
+        self.c1 = coefficients.c1
+        self.c2 = coefficients.c2
+        self.c3 = coefficients.c3
+        self.c4 = coefficients.c4
+
+    # ------------------------------------------------------------------
+    # y given x
+    # ------------------------------------------------------------------
+    def forced_y(self, x: np.ndarray) -> np.ndarray:
+        """Replicas forced by read co-location: ``phi @ x > 0``."""
+        return (self.phi @ x.astype(float)) > 0
+
+    def optimize_y_greedy(self, x: np.ndarray, disjoint: bool = False) -> np.ndarray:
+        """Best attribute placement for fixed ``x`` (greedy).
+
+        Cost of setting ``y[a,s] = 1`` decomposes into a linear part
+        ``k[a,s] = lambda * (c1[:,t] x + c2)`` plus its contribution to
+        the max-load term. The greedy places forced replicas, covers
+        unplaced attributes at their cheapest site, then adds
+        cost-negative replicas while they improve the blended objective.
+        """
+        xs = x.astype(float)
+        k = self.lam * (self.c1 @ xs + self.c2[:, None])  # (|A|, |S|)
+        load_weight = self.c3 @ xs + self.c4[:, None]  # (|A|, |S|), >= 0
+        forced = self.forced_y(x)
+
+        if disjoint:
+            return self._disjoint_y(k, load_weight, forced)
+
+        y = forced.copy()
+        uncovered = np.flatnonzero(~y.any(axis=1))
+        if uncovered.size:
+            if self.lam >= 1.0:
+                best_site = np.argmin(k[uncovered], axis=1)
+                y[uncovered, best_site] = True
+            else:
+                # Balance-aware covering: charge each site the exact
+                # increase of the max load, sequentially (heaviest
+                # attributes first so they anchor the balance).
+                loads = (load_weight * y).sum(axis=0)
+                order = uncovered[
+                    np.argsort(-load_weight[uncovered].max(axis=1))
+                ]
+                for a in order:
+                    current_max = loads.max()
+                    delta = np.maximum(loads + load_weight[a], current_max)
+                    delta -= current_max
+                    score = self.lam * k[a] + (1.0 - self.lam) * delta
+                    site = int(np.argmin(score))
+                    y[a, site] = True
+                    loads[site] += load_weight[a, site]
+
+        candidates = np.argwhere((k < 0) & ~y)
+        if candidates.size:
+            if self.lam >= 1.0:
+                y[candidates[:, 0], candidates[:, 1]] = True
+            else:
+                loads = (load_weight * y).sum(axis=0)
+                order = np.argsort(k[candidates[:, 0], candidates[:, 1]])
+                for idx in order:
+                    a, s = candidates[idx]
+                    gain = k[a, s]
+                    current_max = loads.max()
+                    new_max = max(current_max, loads[s] + load_weight[a, s])
+                    delta = gain + (1.0 - self.lam) * (new_max - current_max)
+                    if delta < 0:
+                        y[a, s] = True
+                        loads[s] += load_weight[a, s]
+        return y
+
+    def _disjoint_y(
+        self, k: np.ndarray, load_weight: np.ndarray, forced: np.ndarray
+    ) -> np.ndarray:
+        """Single-replica placement; forced sites must be unique per attribute."""
+        num_attributes = k.shape[0]
+        y = np.zeros_like(forced)
+        forced_counts = forced.sum(axis=1)
+        conflicted = np.flatnonzero(forced_counts > 1)
+        if conflicted.size:
+            names = [
+                self.coefficients.instance.attributes[a].qualified_name
+                for a in conflicted[:5]
+            ]
+            raise SolverError(
+                f"disjoint sub-problem infeasible: attributes {names} are read "
+                f"by transactions on different sites"
+            )
+        has_force = forced_counts == 1
+        y[has_force] = forced[has_force]
+        free = np.flatnonzero(~has_force)
+        if free.size:
+            loads = (load_weight * y).sum(axis=0)
+            for a in free:
+                score = self.lam * k[a] + (1.0 - self.lam) * (
+                    np.maximum(loads + load_weight[a], loads.max()) - loads.max()
+                )
+                site = int(np.argmin(score))
+                y[a, site] = True
+                loads[site] += load_weight[a, site]
+        return y
+
+    def optimize_y_exact(
+        self, x: np.ndarray, disjoint: bool = False, time_limit: float = 30.0
+    ) -> np.ndarray:
+        """Exact attribute placement for fixed ``x`` via a small MIP."""
+        xs = x.astype(float)
+        k = self.lam * (self.c1 @ xs + self.c2[:, None])
+        load_weight = self.c3 @ xs + self.c4[:, None]
+        forced = self.forced_y(x)
+        num_attributes = k.shape[0]
+
+        model = MipModel("sa-suby")
+        y_vars = np.empty((num_attributes, self.num_sites), dtype=object)
+        for a in range(num_attributes):
+            for s in range(self.num_sites):
+                lower = 1.0 if forced[a, s] else 0.0
+                y_vars[a, s] = model.add_variable(
+                    f"y[{a},{s}]", lower=lower, upper=1.0, integer=True
+                )
+        for a in range(num_attributes):
+            total = LinExpr.from_terms((y_vars[a, s], 1.0) for s in range(self.num_sites))
+            if disjoint:
+                model.add_constraint(total == 1)
+            else:
+                model.add_constraint(total >= 1)
+        objective_terms = [
+            (y_vars[a, s], k[a, s])
+            for a in range(num_attributes)
+            for s in range(self.num_sites)
+            if k[a, s] != 0.0
+        ]
+        if self.lam < 1.0:
+            m_var = model.add_variable("m", lower=0.0)
+            objective_terms.append((m_var, 1.0 - self.lam))
+            for s in range(self.num_sites):
+                terms = [
+                    (y_vars[a, s], load_weight[a, s])
+                    for a in range(num_attributes)
+                    if load_weight[a, s] != 0.0
+                ]
+                terms.append((m_var, -1.0))
+                model.add_constraint(LinExpr.from_terms(terms) <= 0)
+        model.minimize(LinExpr.from_terms(objective_terms))
+        solution = model.solve(backend="scipy", time_limit=time_limit)
+        if not solution.status.has_solution:
+            # Fall back to the greedy rather than losing the iteration.
+            return self.optimize_y_greedy(x, disjoint=disjoint)
+        y = np.zeros((num_attributes, self.num_sites), dtype=bool)
+        for a in range(num_attributes):
+            for s in range(self.num_sites):
+                y[a, s] = solution.values[y_vars[a, s].index] > 0.5
+        return y
+
+    # ------------------------------------------------------------------
+    # x given y
+    # ------------------------------------------------------------------
+    def allowed_sites(self, y: np.ndarray) -> np.ndarray:
+        """``allowed[t,s]`` — site ``s`` holds every attribute ``t`` reads."""
+        missing = self.phi.T @ (1.0 - y.astype(float))  # (|T|, |S|)
+        return missing < 0.5
+
+    def repair_y(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Add the replicas needed to make ``(x, y)`` co-location-feasible."""
+        return y | self.forced_y(x)
+
+    def optimize_x_greedy(self, y: np.ndarray) -> np.ndarray:
+        """Best transaction placement for fixed ``y`` (greedy LPT-style).
+
+        Transactions are placed in decreasing-load order onto the
+        allowed site minimising the blended objective increment. If some
+        transaction has no allowed site the caller is expected to repair
+        ``y`` afterwards (see :meth:`repair_y`); here we pick the site
+        with the fewest missing attributes.
+        """
+        ys = y.astype(float)
+        cost = self.lam * (self.c1.T @ ys)  # (|T|, |S|)
+        read_load = self.c3.T @ ys  # (|T|, |S|)
+        missing = self.phi.T @ (1.0 - ys)  # (|T|, |S|)
+        allowed = missing < 0.5
+        num_transactions = cost.shape[0]
+
+        x = np.zeros((num_transactions, self.num_sites), dtype=bool)
+        loads = self.c4 @ ys  # static write load per site
+        order = np.argsort(-read_load.max(axis=1))
+        for t in order:
+            if allowed[t].any():
+                candidate_sites = np.flatnonzero(allowed[t])
+            else:
+                min_missing = missing[t].min()
+                candidate_sites = np.flatnonzero(missing[t] == min_missing)
+            if self.lam >= 1.0:
+                best = candidate_sites[np.argmin(cost[t, candidate_sites])]
+            else:
+                current_max = loads.max()
+                delta = np.maximum(
+                    loads[candidate_sites] + read_load[t, candidate_sites],
+                    current_max,
+                ) - current_max
+                score = cost[t, candidate_sites] + (1.0 - self.lam) * delta
+                best = candidate_sites[np.argmin(score)]
+            x[t, best] = True
+            loads[best] += read_load[t, best]
+        return x
+
+    def optimize_x_exact(self, y: np.ndarray, time_limit: float = 30.0) -> np.ndarray:
+        """Exact transaction placement for fixed ``y`` via a small MIP."""
+        ys = y.astype(float)
+        cost = self.lam * (self.c1.T @ ys)
+        read_load = self.c3.T @ ys
+        allowed = self.allowed_sites(y)
+        num_transactions = cost.shape[0]
+        if not allowed.any(axis=1).all():
+            # Infeasible under this y; let the greedy pick least-bad sites
+            # and have the caller repair y.
+            return self.optimize_x_greedy(y)
+
+        model = MipModel("sa-subx")
+        x_vars = np.empty((num_transactions, self.num_sites), dtype=object)
+        for t in range(num_transactions):
+            for s in range(self.num_sites):
+                upper = 1.0 if allowed[t, s] else 0.0
+                x_vars[t, s] = model.add_variable(
+                    f"x[{t},{s}]", lower=0.0, upper=upper, integer=True
+                )
+        for t in range(num_transactions):
+            model.add_constraint(
+                LinExpr.from_terms((x_vars[t, s], 1.0) for s in range(self.num_sites))
+                == 1
+            )
+        objective_terms = [
+            (x_vars[t, s], cost[t, s])
+            for t in range(num_transactions)
+            for s in range(self.num_sites)
+            if allowed[t, s] and cost[t, s] != 0.0
+        ]
+        if self.lam < 1.0:
+            m_var = model.add_variable("m", lower=0.0)
+            objective_terms.append((m_var, 1.0 - self.lam))
+            static = self.c4 @ ys
+            for s in range(self.num_sites):
+                terms = [
+                    (x_vars[t, s], read_load[t, s])
+                    for t in range(num_transactions)
+                    if allowed[t, s] and read_load[t, s] != 0.0
+                ]
+                terms.append((m_var, -1.0))
+                model.add_constraint(LinExpr.from_terms(terms) <= -static[s] + 0.0)
+                # i.e. sum read_load x - m <= -static  <=>  static + reads <= m
+        model.minimize(LinExpr.from_terms(objective_terms))
+        solution = model.solve(backend="scipy", time_limit=time_limit)
+        if not solution.status.has_solution:
+            return self.optimize_x_greedy(y)
+        x = np.zeros((num_transactions, self.num_sites), dtype=bool)
+        for t in range(num_transactions):
+            for s in range(self.num_sites):
+                x[t, s] = solution.values[x_vars[t, s].index] > 0.5
+        return x

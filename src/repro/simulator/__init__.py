@@ -1,0 +1,27 @@
+"""H-store-like execution simulator.
+
+Replays a workload against a concrete partitioned layout: each site is
+a row store holding table *fractions* (the attribute subsets assigned to
+it), reads and writes move real bytes through the storage layer, and
+write queries ship updated attribute values to remote replicas over a
+simulated network.
+
+Its purpose is validation: in the paper's accounting mode the simulated
+byte counts reproduce the analytic cost model *exactly*
+(``SimulationReport.objective() == SolutionEvaluator.objective4``),
+which is property-tested. A second, finer accounting mode
+(:attr:`~repro.costmodel.config.WriteAccounting.RELEVANT_ATTRIBUTES`)
+quantifies the overestimation the paper accepts for tractability.
+"""
+
+from repro.simulator.storage import FractionStore, SiteStorage
+from repro.simulator.network import Network
+from repro.simulator.engine import WorkloadSimulator, SimulationReport
+
+__all__ = [
+    "FractionStore",
+    "SiteStorage",
+    "Network",
+    "WorkloadSimulator",
+    "SimulationReport",
+]

@@ -1,0 +1,53 @@
+"""Simulated network: per-link byte counters for replica shipping."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.exceptions import SimulationError
+
+
+class Network:
+    """Counts bytes transferred between sites.
+
+    Transfers are attributed to directed ``(source, destination)`` links;
+    ``total_bytes`` is the paper's ``B`` (unweighted by the penalty
+    ``p``).
+    """
+
+    def __init__(self, num_sites: int):
+        if num_sites < 1:
+            raise SimulationError("network needs at least one site")
+        self.num_sites = num_sites
+        self._links: dict[tuple[int, int], float] = defaultdict(float)
+        self.messages = 0
+
+    def transfer(self, source: int, destination: int, num_bytes: float) -> None:
+        if source == destination:
+            raise SimulationError("a site never transfers to itself")
+        for site in (source, destination):
+            if not 0 <= site < self.num_sites:
+                raise SimulationError(f"site {site} out of range")
+        if num_bytes < 0:
+            raise SimulationError("cannot transfer a negative byte count")
+        self._links[(source, destination)] += num_bytes
+        self.messages += 1
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self._links.values())
+
+    def link_bytes(self, source: int, destination: int) -> float:
+        return self._links.get((source, destination), 0.0)
+
+    def busiest_link(self) -> tuple[tuple[int, int], float] | None:
+        if not self._links:
+            return None
+        link = max(self._links, key=self._links.get)
+        return link, self._links[link]
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(sites={self.num_sites}, links={len(self._links)}, "
+            f"bytes={self.total_bytes:g})"
+        )

@@ -1,0 +1,223 @@
+"""Linear expressions, variables and constraints.
+
+A small, explicit modelling layer in the style of PuLP: variables
+combine into :class:`LinExpr` via ``+ - *``; comparing an expression to
+a number or another expression yields a :class:`Constraint`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Union
+
+from repro.exceptions import SolverError
+
+Number = Union[int, float]
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Variable:
+    """A decision variable owned by a :class:`~repro.solver.model.MipModel`."""
+
+    __slots__ = ("index", "name", "lower", "upper", "is_integer")
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        lower: float = 0.0,
+        upper: float | None = None,
+        is_integer: bool = False,
+    ):
+        if upper is not None and upper < lower:
+            raise SolverError(
+                f"variable {name!r}: upper bound {upper} < lower bound {lower}"
+            )
+        self.index = index
+        self.name = name
+        self.lower = float(lower)
+        self.upper = None if upper is None else float(upper)
+        self.is_integer = is_integer
+
+    # -- arithmetic -----------------------------------------------------
+    def to_expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0})
+
+    def __add__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other: Number) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: Number) -> "LinExpr":
+        return (-1.0) * self.to_expr() + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        return self.to_expr() * scalar
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self.to_expr() * scalar
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    # -- comparisons build constraints ---------------------------------
+    def __le__(self, other: "Variable | LinExpr | Number") -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other: "Variable | LinExpr | Number") -> "Constraint":
+        return self.to_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self.to_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(type(self)), self.index))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """A linear expression ``sum coef_i * var_i + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[int, float] | None = None, constant: float = 0.0):
+        self.terms: dict[int, float] = dict(terms) if terms else {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def from_terms(pairs: Iterable[tuple[Variable, Number]], constant: float = 0.0) -> "LinExpr":
+        """Build an expression from (variable, coefficient) pairs."""
+        terms: dict[int, float] = {}
+        for variable, coefficient in pairs:
+            if coefficient == 0:
+                continue
+            terms[variable.index] = terms.get(variable.index, 0.0) + float(coefficient)
+        return LinExpr(terms, constant)
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.terms, self.constant)
+
+    def _coerce(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        if isinstance(other, Variable):
+            return other.to_expr()
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, (int, float)):
+            return LinExpr(constant=float(other))
+        raise SolverError(f"cannot combine LinExpr with {type(other).__name__}")
+
+    def __add__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        rhs = self._coerce(other)
+        result = self.copy()
+        for index, coefficient in rhs.terms.items():
+            result.terms[index] = result.terms.get(index, 0.0) + coefficient
+        result.constant += rhs.constant
+        return result
+
+    def __radd__(self, other: Number) -> "LinExpr":
+        return self + other
+
+    def __sub__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: Number) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise SolverError("LinExpr can only be multiplied by a scalar")
+        return LinExpr(
+            {index: coefficient * scalar for index, coefficient in self.terms.items()},
+            self.constant * scalar,
+        )
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self * scalar
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons ----------------------------------------------------
+    def __le__(self, other: "Variable | LinExpr | Number") -> "Constraint":
+        return Constraint._build(self, Sense.LE, self._coerce(other))
+
+    def __ge__(self, other: "Variable | LinExpr | Number") -> "Constraint":
+        return Constraint._build(self, Sense.GE, self._coerce(other))
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return Constraint._build(self, Sense.EQ, self._coerce(other))
+        return NotImplemented
+
+    def __hash__(self) -> int:  # keep LinExpr usable in sets despite __eq__
+        return id(self)
+
+    def value(self, assignment) -> float:
+        """Evaluate under ``assignment`` (indexable by variable index)."""
+        total = self.constant
+        for index, coefficient in self.terms.items():
+            total += coefficient * float(assignment[index])
+        return total
+
+    def __repr__(self) -> str:
+        parts = [f"{coef:+g}*v{index}" for index, coef in sorted(self.terms.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+class Constraint:
+    """A linear constraint ``lhs (sense) rhs`` in normalised form.
+
+    Normalised so that all variables are on the left and the right-hand
+    side is a constant: ``sum coef_i * var_i  (sense)  rhs``.
+    """
+
+    __slots__ = ("terms", "sense", "rhs", "name")
+
+    def __init__(self, terms: Mapping[int, float], sense: Sense, rhs: float, name: str = ""):
+        self.terms = dict(terms)
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    @classmethod
+    def _build(cls, lhs: LinExpr, sense: Sense, rhs: LinExpr) -> "Constraint":
+        merged = lhs - rhs
+        constant = merged.constant
+        merged.constant = 0.0
+        return cls(merged.terms, sense, -constant)
+
+    def with_name(self, name: str) -> "Constraint":
+        self.name = name
+        return self
+
+    def violation(self, assignment, tolerance: float = 1e-7) -> float:
+        """How much ``assignment`` violates this constraint (0 if satisfied)."""
+        value = sum(
+            coefficient * float(assignment[index])
+            for index, coefficient in self.terms.items()
+        )
+        if self.sense is Sense.LE:
+            return max(0.0, value - self.rhs - tolerance)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - value - tolerance)
+        return max(0.0, abs(value - self.rhs) - tolerance)
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name or '?'}: {len(self.terms)} terms {self.sense.value} {self.rhs:g})"

@@ -1,0 +1,213 @@
+"""A dense two-phase primal simplex LP solver, written from scratch.
+
+This is the LP engine under the from-scratch branch-and-bound solver.
+It is deliberately simple and robust rather than fast: a full-tableau
+implementation with Dantzig pricing and a Bland's-rule fallback against
+cycling. Intended for the small models that arise in unit tests, in SA
+sub-problems and in the reduced (grouped) QP models; large models go to
+the HiGHS backend.
+
+The solver accepts the general form of :class:`StandardArrays`
+(mixed <=, >=, == rows, variable bounds) and handles it by
+
+1. shifting variables so lower bounds become 0,
+2. turning finite upper bounds into extra ``<=`` rows,
+3. adding slack variables, flipping rows to make the RHS non-negative,
+4. adding artificial variables where no slack can seed the basis,
+5. phase 1 (minimise artificial sum), then phase 2 (original costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.solver.expr import Sense
+from repro.solver.model import StandardArrays
+from repro.solver.solution import SolutionStatus
+
+_TOLERANCE = 1e-9
+_FEAS_TOLERANCE = 1e-7
+
+
+@dataclass
+class SimplexResult:
+    """Outcome of one LP solve."""
+
+    status: SolutionStatus
+    objective: float | None
+    values: np.ndarray | None
+    iterations: int = 0
+
+
+def solve_lp_simplex(
+    arrays: StandardArrays,
+    lower: np.ndarray | None = None,
+    upper: np.ndarray | None = None,
+    max_iterations: int | None = None,
+) -> SimplexResult:
+    """Solve the LP relaxation of ``arrays`` (integrality ignored).
+
+    ``lower`` / ``upper`` override the variable bounds (used by
+    branch-and-bound nodes).
+    """
+    lower = np.array(arrays.lower if lower is None else lower, dtype=float)
+    upper = np.array(arrays.upper if upper is None else upper, dtype=float)
+    if np.any(lower > upper + _TOLERANCE):
+        return SimplexResult(SolutionStatus.INFEASIBLE, None, None)
+    if np.any(np.isinf(lower)):
+        raise SolverError("simplex requires finite lower bounds")
+
+    n = arrays.num_variables
+    dense = arrays.matrix.toarray() if arrays.num_constraints else np.zeros((0, n))
+    # Shift x = lower + x'.
+    rhs = arrays.rhs - dense @ lower
+    ranges = upper - lower
+
+    rows = [dense[i] for i in range(dense.shape[0])]
+    row_rhs = list(rhs)
+    row_senses = list(arrays.senses)
+    for j in np.flatnonzero(np.isfinite(ranges)):
+        bound_row = np.zeros(n)
+        bound_row[j] = 1.0
+        rows.append(bound_row)
+        row_rhs.append(ranges[j])
+        row_senses.append(Sense.LE)
+
+    m = len(rows)
+    if m == 0:
+        # Unconstrained: minimise each shifted variable at 0 or range end.
+        objective = arrays.objective
+        values = np.where(objective >= 0, 0.0, ranges)
+        if np.any((objective < 0) & np.isinf(ranges)):
+            return SimplexResult(SolutionStatus.UNBOUNDED, None, None)
+        x = lower + values
+        obj = float(arrays.objective @ x + arrays.objective_constant)
+        return SimplexResult(SolutionStatus.OPTIMAL, obj, x)
+
+    matrix = np.vstack(rows)
+    b = np.asarray(row_rhs, dtype=float)
+
+    num_slacks = sum(1 for sense in row_senses if sense is not Sense.EQ)
+    total = n + num_slacks
+    tableau = np.zeros((m, total))
+    tableau[:, :n] = matrix
+    slack_of_row = np.full(m, -1, dtype=int)
+    next_col = n
+    for i, sense in enumerate(row_senses):
+        if sense is Sense.LE:
+            tableau[i, next_col] = 1.0
+            slack_of_row[i] = next_col
+            next_col += 1
+        elif sense is Sense.GE:
+            tableau[i, next_col] = -1.0
+            slack_of_row[i] = next_col
+            next_col += 1
+
+    negative = b < 0
+    tableau[negative] *= -1.0
+    b = np.abs(b)
+
+    basis = np.full(m, -1, dtype=int)
+    artificial_rows = []
+    for i in range(m):
+        j = slack_of_row[i]
+        if j >= 0 and tableau[i, j] == 1.0:
+            basis[i] = j
+        else:
+            artificial_rows.append(i)
+    num_artificial = len(artificial_rows)
+    if num_artificial:
+        art_block = np.zeros((m, num_artificial))
+        for k, i in enumerate(artificial_rows):
+            art_block[i, k] = 1.0
+            basis[i] = total + k
+        tableau = np.hstack([tableau, art_block])
+    num_columns = tableau.shape[1]
+
+    if max_iterations is None:
+        max_iterations = 50 * (m + num_columns) + 1000
+
+    iterations = 0
+
+    def run_phase(costs: np.ndarray, allow: np.ndarray) -> str:
+        """Run simplex iterations for ``costs``; ``allow`` masks columns
+        eligible to enter the basis. Returns 'optimal' or 'unbounded'."""
+        nonlocal iterations
+        bland = False
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                raise SolverError(
+                    f"simplex exceeded {max_iterations} iterations "
+                    f"(m={m}, n={num_columns})"
+                )
+            cb = costs[basis]
+            reduced = costs - cb @ tableau
+            reduced[basis] = 0.0
+            candidates = np.flatnonzero(allow & (reduced < -_TOLERANCE))
+            if candidates.size == 0:
+                return "optimal"
+            if bland or iterations % 512 == 0:
+                bland = True
+                entering = candidates[0]
+            else:
+                entering = candidates[np.argmin(reduced[candidates])]
+            column = tableau[:, entering]
+            positive = column > _TOLERANCE
+            if not positive.any():
+                return "unbounded"
+            ratios = np.full(m, np.inf)
+            ratios[positive] = b[positive] / column[positive]
+            best = ratios.min()
+            ties = np.flatnonzero(np.isclose(ratios, best, rtol=0.0, atol=1e-12))
+            leaving_row = min(ties, key=lambda i: basis[i]) if bland else ties[0]
+            _pivot(tableau, b, basis, leaving_row, entering)
+
+    # ---------------- Phase 1 ----------------
+    if num_artificial:
+        phase1_costs = np.zeros(num_columns)
+        phase1_costs[total:] = 1.0
+        allow = np.ones(num_columns, dtype=bool)
+        outcome = run_phase(phase1_costs, allow)
+        infeasibility = float(phase1_costs[basis] @ b)
+        if outcome == "unbounded" or infeasibility > _FEAS_TOLERANCE:
+            return SimplexResult(SolutionStatus.INFEASIBLE, None, None, iterations)
+        # Drive remaining artificials (basic at zero) out of the basis.
+        for i in range(m):
+            if basis[i] >= total:
+                pivot_candidates = np.flatnonzero(np.abs(tableau[i, :total]) > _TOLERANCE)
+                if pivot_candidates.size:
+                    _pivot(tableau, b, basis, i, int(pivot_candidates[0]))
+                # Else the row is redundant; the artificial stays basic at
+                # zero and is barred from re-entering in phase 2.
+
+    # ---------------- Phase 2 ----------------
+    phase2_costs = np.zeros(num_columns)
+    phase2_costs[:n] = arrays.objective
+    allow = np.ones(num_columns, dtype=bool)
+    allow[total:] = False  # artificials may never re-enter
+    outcome = run_phase(phase2_costs, allow)
+    if outcome == "unbounded":
+        return SimplexResult(SolutionStatus.UNBOUNDED, None, None, iterations)
+
+    shifted = np.zeros(num_columns)
+    shifted[basis] = b
+    x = lower + shifted[:n]
+    objective = float(arrays.objective @ x + arrays.objective_constant)
+    return SimplexResult(SolutionStatus.OPTIMAL, objective, x, iterations)
+
+
+def _pivot(tableau: np.ndarray, b: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Gaussian pivot making ``col`` basic in ``row``."""
+    pivot_value = tableau[row, col]
+    tableau[row] /= pivot_value
+    b[row] /= pivot_value
+    column = tableau[:, col].copy()
+    column[row] = 0.0
+    tableau -= np.outer(column, tableau[row])
+    b -= column * b[row]
+    np.maximum(b, 0.0, out=b)  # clamp tiny negatives from roundoff
+    basis[row] = col

@@ -1,0 +1,34 @@
+"""Mini-SQL front end.
+
+Lets users define schemas (``CREATE TABLE``) and workloads (annotated
+``SELECT`` / ``UPDATE`` / ``INSERT`` / ``DELETE`` templates) as SQL text
+and turn them into :class:`~repro.model.instance.ProblemInstance`
+objects. Statement statistics come from annotation comments::
+
+    -- transaction NewOrder
+    -- rows Item=10 freq 1
+    SELECT i_price, i_name FROM item WHERE i_id = ?;
+
+UPDATE statements are split per the paper's Section-5.2 convention
+(read sub-query + write sub-query); DELETEs write complete rows;
+INSERTs write the listed (or all) columns.
+"""
+
+from repro.sqlio.lexer import Token, TokenKind, tokenize
+from repro.sqlio.parser import SqlParser, parse_statements
+from repro.sqlio.workload_loader import (
+    load_instance_from_sql,
+    parse_schema_sql,
+    parse_workload_sql,
+)
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "SqlParser",
+    "parse_statements",
+    "load_instance_from_sql",
+    "parse_schema_sql",
+    "parse_workload_sql",
+]

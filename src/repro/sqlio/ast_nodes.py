@@ -1,0 +1,87 @@
+"""Statement AST for the mini-SQL dialect.
+
+Column references are kept as ``(table_or_alias, name)`` pairs with the
+table part optional; resolution against a schema happens in the
+workload loader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference."""
+
+    table: str | None
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a CREATE TABLE statement."""
+
+    name: str
+    type_name: str
+    type_args: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class Select:
+    tables: tuple[str, ...]
+    #: Aliases mapping alias -> table name (includes identity entries).
+    aliases: dict[str, str]
+    columns: tuple[ColumnRef, ...]  # select list; empty + star=True means *
+    star: bool
+    where_columns: tuple[ColumnRef, ...]
+    extra_columns: tuple[ColumnRef, ...] = ()  # GROUP BY / ORDER BY / ON
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: ColumnRef
+    #: Columns referenced by the right-hand side expression.
+    rhs_columns: tuple[ColumnRef, ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[Assignment, ...]
+    where_columns: tuple[ColumnRef, ...]
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty means all columns
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where_columns: tuple[ColumnRef, ...]
+
+
+Statement = CreateTable | Select | Update | Insert | Delete
+
+
+@dataclass
+class Annotations:
+    """Statistics annotations attached to the following statement."""
+
+    transaction: str | None = None
+    query_name: str | None = None
+    frequency: float = 1.0
+    rows: dict[str, float] = field(default_factory=dict)
+    default_rows: float | None = None

@@ -1,0 +1,142 @@
+"""Tokenizer for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ParseError
+
+KEYWORDS = {
+    "select", "from", "where", "update", "set", "insert", "into", "values",
+    "delete", "create", "table", "and", "or", "not", "order", "by", "group",
+    "having", "join", "inner", "left", "right", "outer", "on", "as",
+    "distinct", "limit", "asc", "desc", "between", "in", "like", "is",
+    "null", "count", "sum", "avg", "min", "max",
+}
+
+PUNCTUATION = {
+    "(", ")", ",", ";", "*", "=", "<", ">", "<=", ">=", "<>", "!=", "+",
+    "-", "/", ".", "?",
+}
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    PUNCT = "punct"
+    COMMENT = "comment"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value in names
+
+    def is_punct(self, *symbols: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.value in symbols
+
+
+def tokenize(text: str, keep_comments: bool = False) -> list[Token]:
+    """Tokenize SQL text; raises :class:`ParseError` on bad characters."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("--", index):
+            start_line, start_column = line, column
+            end = text.find("\n", index)
+            end = length if end == -1 else end
+            comment = text[index + 2 : end].strip()
+            advance(end - index)
+            if keep_comments:
+                tokens.append(
+                    Token(TokenKind.COMMENT, comment, start_line, start_column)
+                )
+            continue
+        if text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end == -1:
+                raise ParseError("unterminated block comment", line, column)
+            advance(end + 2 - index)
+            continue
+        if char == "'":
+            start_line, start_column = line, column
+            end = index + 1
+            while end < length and text[end] != "'":
+                end += 1
+            if end >= length:
+                raise ParseError("unterminated string literal", line, column)
+            value = text[index + 1 : end]
+            advance(end + 1 - index)
+            tokens.append(Token(TokenKind.STRING, value, start_line, start_column))
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            start_line, start_column = line, column
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            value = text[index:end]
+            advance(end - index)
+            tokens.append(Token(TokenKind.NUMBER, value, start_line, start_column))
+            continue
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            advance(end - index)
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(
+                    Token(TokenKind.KEYWORD, lowered, start_line, start_column)
+                )
+            else:
+                tokens.append(
+                    Token(TokenKind.IDENTIFIER, word, start_line, start_column)
+                )
+            continue
+        # Two-character operators first.
+        two = text[index : index + 2]
+        if two in PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, two, line, column))
+            advance(2)
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, char, line, column))
+            advance(1)
+            continue
+        raise ParseError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenKind.END, "", line, column))
+    return tokens

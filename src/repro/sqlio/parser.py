@@ -1,0 +1,374 @@
+"""Recursive-descent parser for the mini-SQL dialect.
+
+Expressions (WHERE / SET right-hand sides / ON clauses) are not fully
+parsed into trees — the workload model only needs *which columns they
+reference* — so they are scanned token-by-token, collecting column
+references until the clause ends.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParseError
+from repro.sqlio.ast_nodes import (
+    Assignment,
+    ColumnDef,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    Statement,
+    Update,
+)
+from repro.sqlio.lexer import Token, TokenKind, tokenize
+
+_CLAUSE_KEYWORDS = {
+    "where", "group", "order", "having", "limit", "join", "inner", "left",
+    "right", "outer", "on", "values", "set",
+}
+_AGGREGATES = {"count", "sum", "avg", "min", "max"}
+
+
+class SqlParser:
+    """Parses a token stream into statements."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.END:
+            self._position += 1
+        return token
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._next()
+        if not token.is_keyword(*names):
+            raise ParseError(
+                f"expected {' or '.join(names).upper()}, got {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._next()
+        if not token.is_punct(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, got {token.value!r}", token.line, token.column
+            )
+        return token
+
+    def _expect_identifier(self) -> Token:
+        token = self._next()
+        if token.kind is not TokenKind.IDENTIFIER:
+            raise ParseError(
+                f"expected identifier, got {token.value!r}", token.line, token.column
+            )
+        return token
+
+    def _at_end(self) -> bool:
+        return self._peek().kind is TokenKind.END
+
+    # -- statements --------------------------------------------------------
+    def parse_all(self) -> list[Statement]:
+        statements: list[Statement] = []
+        while not self._at_end():
+            if self._peek().is_punct(";"):
+                self._next()
+                continue
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> Statement:
+        token = self._peek()
+        if token.is_keyword("create"):
+            return self._parse_create()
+        if token.is_keyword("select"):
+            return self._parse_select()
+        if token.is_keyword("update"):
+            return self._parse_update()
+        if token.is_keyword("insert"):
+            return self._parse_insert()
+        if token.is_keyword("delete"):
+            return self._parse_delete()
+        raise ParseError(
+            f"unexpected token {token.value!r} at statement start",
+            token.line,
+            token.column,
+        )
+
+    # -- CREATE TABLE -----------------------------------------------------
+    def _parse_create(self) -> CreateTable:
+        self._expect_keyword("create")
+        self._expect_keyword("table")
+        name = self._expect_identifier().value
+        self._expect_punct("(")
+        columns: list[ColumnDef] = []
+        while True:
+            column_name = self._expect_identifier().value
+            type_token = self._next()
+            if type_token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+                raise ParseError(
+                    f"expected a type after column {column_name!r}",
+                    type_token.line,
+                    type_token.column,
+                )
+            type_args: list[int] = []
+            if self._peek().is_punct("("):
+                self._next()
+                while not self._peek().is_punct(")"):
+                    arg = self._next()
+                    if arg.kind is TokenKind.NUMBER:
+                        type_args.append(int(float(arg.value)))
+                    elif not arg.is_punct(","):
+                        raise ParseError(
+                            f"bad type argument {arg.value!r}", arg.line, arg.column
+                        )
+                self._expect_punct(")")
+            # Skip column constraints until , or ).
+            depth = 0
+            while True:
+                token = self._peek()
+                if token.kind is TokenKind.END:
+                    raise ParseError("unterminated CREATE TABLE", token.line, token.column)
+                if depth == 0 and (token.is_punct(",") or token.is_punct(")")):
+                    break
+                if token.is_punct("("):
+                    depth += 1
+                elif token.is_punct(")"):
+                    depth -= 1
+                self._next()
+            columns.append(
+                ColumnDef(column_name, type_token.value.lower(), tuple(type_args))
+            )
+            if self._peek().is_punct(","):
+                self._next()
+                continue
+            self._expect_punct(")")
+            break
+        self._maybe_semicolon()
+        return CreateTable(name, tuple(columns))
+
+    # -- SELECT ------------------------------------------------------------
+    def _parse_select(self) -> Select:
+        self._expect_keyword("select")
+        if self._peek().is_keyword("distinct"):
+            self._next()
+        columns: list[ColumnRef] = []
+        star = False
+        while True:
+            token = self._peek()
+            if token.is_punct("*"):
+                self._next()
+                star = True
+            elif token.is_keyword(*_AGGREGATES):
+                self._next()
+                self._expect_punct("(")
+                depth = 1
+                while depth:
+                    inner = self._next()
+                    if inner.kind is TokenKind.END:
+                        raise ParseError("unterminated aggregate", inner.line, inner.column)
+                    if inner.is_punct("("):
+                        depth += 1
+                    elif inner.is_punct(")"):
+                        depth -= 1
+                    elif inner.kind is TokenKind.IDENTIFIER:
+                        columns.append(self._finish_column_ref(inner))
+                    elif inner.is_keyword("distinct"):
+                        continue
+            elif token.kind is TokenKind.IDENTIFIER:
+                self._next()
+                columns.append(self._finish_column_ref(token))
+            else:
+                raise ParseError(
+                    f"bad select list near {token.value!r}", token.line, token.column
+                )
+            if self._peek().is_punct(","):
+                self._next()
+                continue
+            break
+        self._expect_keyword("from")
+        tables, aliases, on_columns = self._parse_from()
+        where_columns: list[ColumnRef] = []
+        extra_columns: list[ColumnRef] = list(on_columns)
+        while not self._at_end() and not self._peek().is_punct(";"):
+            token = self._peek()
+            if token.is_keyword("where"):
+                self._next()
+                where_columns.extend(self._scan_expression_columns())
+            elif token.is_keyword("group", "order"):
+                self._next()
+                self._expect_keyword("by")
+                extra_columns.extend(self._scan_expression_columns())
+            elif token.is_keyword("having"):
+                self._next()
+                extra_columns.extend(self._scan_expression_columns())
+            elif token.is_keyword("limit"):
+                self._next()
+                self._next()  # the number
+            elif token.is_keyword("asc", "desc"):
+                self._next()
+            else:
+                raise ParseError(
+                    f"unexpected {token.value!r} in SELECT", token.line, token.column
+                )
+        self._maybe_semicolon()
+        return Select(
+            tables=tuple(tables),
+            aliases=aliases,
+            columns=tuple(columns),
+            star=star,
+            where_columns=tuple(where_columns),
+            extra_columns=tuple(extra_columns),
+        )
+
+    def _parse_from(self) -> tuple[list[str], dict[str, str], list[ColumnRef]]:
+        tables: list[str] = []
+        aliases: dict[str, str] = {}
+        on_columns: list[ColumnRef] = []
+
+        def parse_table() -> None:
+            table = self._expect_identifier().value
+            tables.append(table)
+            aliases[table] = table
+            token = self._peek()
+            if token.kind is TokenKind.IDENTIFIER:
+                self._next()
+                aliases[token.value] = table
+            elif token.is_keyword("as"):
+                self._next()
+                alias = self._expect_identifier().value
+                aliases[alias] = table
+
+        parse_table()
+        while True:
+            token = self._peek()
+            if token.is_punct(","):
+                self._next()
+                parse_table()
+            elif token.is_keyword("join", "inner", "left", "right", "outer"):
+                while self._peek().is_keyword("inner", "left", "right", "outer"):
+                    self._next()
+                self._expect_keyword("join")
+                parse_table()
+                if self._peek().is_keyword("on"):
+                    self._next()
+                    on_columns.extend(self._scan_expression_columns())
+            else:
+                break
+        return tables, aliases, on_columns
+
+    # -- UPDATE ------------------------------------------------------------
+    def _parse_update(self) -> Update:
+        self._expect_keyword("update")
+        table = self._expect_identifier().value
+        self._expect_keyword("set")
+        assignments: list[Assignment] = []
+        while True:
+            target = self._expect_identifier()
+            column = self._finish_column_ref(target)
+            self._expect_punct("=")
+            rhs_columns = self._scan_expression_columns(stop_at_comma=True)
+            assignments.append(Assignment(column, tuple(rhs_columns)))
+            if self._peek().is_punct(","):
+                self._next()
+                continue
+            break
+        where_columns: list[ColumnRef] = []
+        if self._peek().is_keyword("where"):
+            self._next()
+            where_columns = self._scan_expression_columns()
+        self._maybe_semicolon()
+        return Update(table, tuple(assignments), tuple(where_columns))
+
+    # -- INSERT ------------------------------------------------------------
+    def _parse_insert(self) -> Insert:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_identifier().value
+        columns: list[str] = []
+        if self._peek().is_punct("("):
+            self._next()
+            while True:
+                columns.append(self._expect_identifier().value)
+                if self._peek().is_punct(","):
+                    self._next()
+                    continue
+                self._expect_punct(")")
+                break
+        self._expect_keyword("values")
+        self._expect_punct("(")
+        depth = 1
+        while depth:
+            token = self._next()
+            if token.kind is TokenKind.END:
+                raise ParseError("unterminated VALUES", token.line, token.column)
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                depth -= 1
+        self._maybe_semicolon()
+        return Insert(table, tuple(columns))
+
+    # -- DELETE ------------------------------------------------------------
+    def _parse_delete(self) -> Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_identifier().value
+        where_columns: list[ColumnRef] = []
+        if self._peek().is_keyword("where"):
+            self._next()
+            where_columns = self._scan_expression_columns()
+        self._maybe_semicolon()
+        return Delete(table, tuple(where_columns))
+
+    # -- shared helpers ------------------------------------------------------
+    def _finish_column_ref(self, first: Token) -> ColumnRef:
+        """``first`` is an identifier; consume an optional ``.name``."""
+        if self._peek().is_punct(".") and self._peek(1).kind is TokenKind.IDENTIFIER:
+            self._next()
+            name = self._next().value
+            return ColumnRef(first.value, name)
+        return ColumnRef(None, first.value)
+
+    def _scan_expression_columns(self, stop_at_comma: bool = False) -> list[ColumnRef]:
+        """Collect column references until the clause ends."""
+        columns: list[ColumnRef] = []
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.END or token.is_punct(";"):
+                break
+            if depth == 0 and token.kind is TokenKind.KEYWORD and token.value in _CLAUSE_KEYWORDS:
+                break
+            if depth == 0 and stop_at_comma and token.is_punct(","):
+                break
+            self._next()
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                if depth == 0:
+                    # Closing a parenthesis we did not open: end of clause.
+                    self._position -= 1
+                    break
+                depth -= 1
+            elif token.kind is TokenKind.IDENTIFIER:
+                columns.append(self._finish_column_ref(token))
+        return columns
+
+    def _maybe_semicolon(self) -> None:
+        if self._peek().is_punct(";"):
+            self._next()
+
+
+def parse_statements(sql: str) -> list[Statement]:
+    """Parse SQL text into a list of statements."""
+    return SqlParser(tokenize(sql)).parse_all()

@@ -1,0 +1,365 @@
+"""Turn annotated SQL text into schemas, workloads and instances.
+
+Schema text is a sequence of ``CREATE TABLE`` statements; column types
+map to byte widths via :data:`TYPE_WIDTHS` (``char(n)``/``varchar(n)``
+use ``n``, ``decimal(p,s)`` uses packed-decimal size).
+
+Workload text is a sequence of DML templates with annotation comments::
+
+    -- transaction Payment
+    -- name updateWarehouse freq 1 rows 1
+    UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?;
+
+Annotation directives (whitespace-separated, within any ``--`` comment):
+
+* ``transaction <Name>`` — start a new transaction,
+* ``name <queryName>`` — name for the next statement,
+* ``freq <f>`` — frequency of the next statement,
+* ``rows <n>`` or ``rows <table>=<n> [<table>=<n> ...]`` — row counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParseError, SchemaError
+from repro.model.instance import ProblemInstance
+from repro.model.schema import Attribute, Schema, Table
+from repro.model.workload import Query, Transaction, Workload, split_update
+from repro.sqlio.ast_nodes import (
+    Annotations,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    Update,
+)
+from repro.sqlio.lexer import Token, TokenKind, tokenize
+from repro.sqlio.parser import SqlParser
+
+#: Fixed-width SQL types in bytes.
+TYPE_WIDTHS: dict[str, float] = {
+    "tinyint": 1,
+    "smallint": 2,
+    "int": 4,
+    "integer": 4,
+    "serial": 4,
+    "bigint": 8,
+    "float": 4,
+    "real": 4,
+    "double": 8,
+    "boolean": 1,
+    "bool": 1,
+    "date": 4,
+    "time": 4,
+    "timestamp": 8,
+    "datetime": 8,
+    "text": 100,
+}
+
+
+def type_width(type_name: str, type_args: tuple[int, ...]) -> float:
+    """Byte width of a SQL type."""
+    lowered = type_name.lower()
+    if lowered in ("char", "varchar", "character"):
+        return float(type_args[0]) if type_args else 30.0
+    if lowered in ("decimal", "numeric"):
+        if type_args:
+            precision = type_args[0]
+            return float(math.floor(precision / 2) + 1)
+        return 8.0
+    if lowered in TYPE_WIDTHS:
+        return float(TYPE_WIDTHS[lowered])
+    raise SchemaError(f"unknown SQL type {type_name!r}")
+
+
+def parse_schema_sql(sql: str, name: str = "schema") -> Schema:
+    """Parse CREATE TABLE statements into a :class:`Schema`."""
+    statements = SqlParser(tokenize(sql)).parse_all()
+    tables = []
+    for statement in statements:
+        if not isinstance(statement, CreateTable):
+            raise ParseError(
+                f"schema text may only contain CREATE TABLE statements, "
+                f"found {type(statement).__name__}"
+            )
+        attributes = tuple(
+            Attribute(
+                table=statement.name,
+                name=column.name,
+                width=type_width(column.type_name, column.type_args),
+            )
+            for column in statement.columns
+        )
+        tables.append(Table(statement.name, attributes))
+    return Schema(tables, name=name)
+
+
+# ----------------------------------------------------------------------
+# Annotated workload parsing
+# ----------------------------------------------------------------------
+def _split_statements_with_comments(
+    sql: str,
+) -> list[tuple[list[str], list[Token]]]:
+    """Group tokens into statements, each with its preceding comments."""
+    tokens = tokenize(sql, keep_comments=True)
+    groups: list[tuple[list[str], list[Token]]] = []
+    pending_comments: list[str] = []
+    current: list[Token] = []
+    for token in tokens:
+        if token.kind is TokenKind.COMMENT:
+            if current:
+                continue  # comment inside a statement: ignore
+            pending_comments.append(token.value)
+            continue
+        if token.kind is TokenKind.END:
+            break
+        current.append(token)
+        if token.is_punct(";"):
+            end = Token(TokenKind.END, "", token.line, token.column)
+            groups.append((pending_comments, current + [end]))
+            pending_comments = []
+            current = []
+    if current:
+        end = Token(TokenKind.END, "", current[-1].line, current[-1].column)
+        groups.append((pending_comments, current + [end]))
+    elif pending_comments:
+        groups.append((pending_comments, []))
+    return groups
+
+
+def _parse_annotations(comments: list[str], line_hint: int = 0) -> Annotations:
+    annotations = Annotations()
+    for comment in comments:
+        words = comment.replace(",", " ").split()
+        index = 0
+        while index < len(words):
+            word = words[index].lower().rstrip(":")
+            if word == "transaction" and index + 1 < len(words):
+                annotations.transaction = words[index + 1]
+                index += 2
+            elif word == "name" and index + 1 < len(words):
+                annotations.query_name = words[index + 1]
+                index += 2
+            elif word in ("freq", "frequency") and index + 1 < len(words):
+                try:
+                    annotations.frequency = float(words[index + 1])
+                except ValueError:
+                    raise ParseError(
+                        f"bad frequency {words[index + 1]!r}", line_hint
+                    ) from None
+                index += 2
+            elif word == "rows":
+                index += 1
+                consumed_any = False
+                while index < len(words):
+                    entry = words[index]
+                    if "=" in entry:
+                        table, _, value = entry.partition("=")
+                        try:
+                            annotations.rows[table] = float(value)
+                        except ValueError:
+                            raise ParseError(
+                                f"bad row count {entry!r}", line_hint
+                            ) from None
+                        index += 1
+                        consumed_any = True
+                    else:
+                        try:
+                            annotations.default_rows = float(entry)
+                            index += 1
+                            consumed_any = True
+                        except ValueError:
+                            break
+                if not consumed_any:
+                    raise ParseError("rows annotation needs a value", line_hint)
+            else:
+                index += 1  # free-form comment text
+    return annotations
+
+
+class _WorkloadBuilder:
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.transactions: list[Transaction] = []
+        self._current_name: str | None = None
+        self._current_queries: list[Query] = []
+        self._counter = 0
+
+    def start_transaction(self, name: str) -> None:
+        self._flush()
+        self._current_name = name
+
+    def _flush(self) -> None:
+        if self._current_queries:
+            name = self._current_name or f"txn{len(self.transactions)}"
+            self.transactions.append(
+                Transaction(name, tuple(self._current_queries))
+            )
+        self._current_queries = []
+        self._current_name = None
+
+    def finish(self, workload_name: str) -> Workload:
+        self._flush()
+        if not self.transactions:
+            raise ParseError("workload text contains no statements")
+        return Workload(self.transactions, name=workload_name)
+
+    # -- statement -> queries -------------------------------------------
+    def add_statement(self, statement, annotations: Annotations) -> None:
+        self._counter += 1
+        base = annotations.query_name or f"q{self._counter}"
+        prefix = self._current_name or f"txn{len(self.transactions)}"
+        name = f"{prefix}.{base}"
+        rows = self._rows_for(statement, annotations)
+        frequency = annotations.frequency
+        if isinstance(statement, Select):
+            self._current_queries.append(
+                self._select_query(statement, name, rows, frequency)
+            )
+        elif isinstance(statement, Update):
+            self._current_queries.extend(
+                self._update_queries(statement, name, rows, frequency)
+            )
+        elif isinstance(statement, Insert):
+            self._current_queries.append(
+                self._insert_query(statement, name, rows, frequency)
+            )
+        elif isinstance(statement, Delete):
+            self._current_queries.extend(
+                self._delete_queries(statement, name, rows, frequency)
+            )
+        else:
+            raise ParseError(
+                f"unsupported statement type {type(statement).__name__} in workload"
+            )
+
+    def _rows_for(self, statement, annotations: Annotations) -> dict[str, float]:
+        tables = self._statement_tables(statement)
+        rows: dict[str, float] = {}
+        for table in tables:
+            if table in annotations.rows:
+                rows[table] = annotations.rows[table]
+            elif annotations.default_rows is not None:
+                rows[table] = annotations.default_rows
+        for table in annotations.rows:
+            if table not in tables:
+                raise ParseError(
+                    f"rows annotation references table {table!r} not used by "
+                    f"the statement"
+                )
+        return rows
+
+    @staticmethod
+    def _statement_tables(statement) -> tuple[str, ...]:
+        if isinstance(statement, Select):
+            return statement.tables
+        return (statement.table,)
+
+    def _resolve(
+        self, ref: ColumnRef, tables: tuple[str, ...], aliases: dict[str, str] | None = None
+    ) -> str:
+        if ref.table is not None:
+            table = (aliases or {}).get(ref.table, ref.table)
+            return self.schema.table(table).attribute(ref.name).qualified_name
+        return self.schema.resolve(ref.name, tables).qualified_name
+
+    def _select_query(
+        self, statement: Select, name: str, rows: dict[str, float], frequency: float
+    ) -> Query:
+        tables = statement.tables
+        for table in tables:
+            self.schema.table(table)  # validate
+        attributes: set[str] = set()
+        if statement.star:
+            for table in tables:
+                attributes.update(
+                    attribute.qualified_name
+                    for attribute in self.schema.table(table)
+                )
+        for ref in statement.columns + statement.where_columns + statement.extra_columns:
+            attributes.add(self._resolve(ref, tables, statement.aliases))
+        return Query.read(name, attributes, rows=rows, frequency=frequency)
+
+    def _update_queries(
+        self, statement: Update, name: str, rows: dict[str, float], frequency: float
+    ) -> tuple[Query, ...]:
+        tables = (statement.table,)
+        written = {
+            self._resolve(assignment.column, tables)
+            for assignment in statement.assignments
+        }
+        read: set[str] = {
+            self._resolve(ref, tables) for ref in statement.where_columns
+        }
+        for assignment in statement.assignments:
+            target = self._resolve(assignment.column, tables)
+            for ref in assignment.rhs_columns:
+                qualified = self._resolve(ref, tables)
+                if qualified != target:  # self-references are not reads
+                    read.add(qualified)
+        return split_update(
+            name,
+            read_attributes=read,
+            written_attributes=written,
+            rows=rows,
+            frequency=frequency,
+        )
+
+    def _insert_query(
+        self, statement: Insert, name: str, rows: dict[str, float], frequency: float
+    ) -> Query:
+        table = self.schema.table(statement.table)
+        if statement.columns:
+            attributes = {
+                table.attribute(column).qualified_name
+                for column in statement.columns
+            }
+        else:
+            attributes = {attribute.qualified_name for attribute in table}
+        return Query.write(name, attributes, rows=rows, frequency=frequency)
+
+    def _delete_queries(
+        self, statement: Delete, name: str, rows: dict[str, float], frequency: float
+    ) -> tuple[Query, ...]:
+        table = self.schema.table(statement.table)
+        written = {attribute.qualified_name for attribute in table}
+        read = {
+            self._resolve(ref, (statement.table,))
+            for ref in statement.where_columns
+        }
+        queries: list[Query] = []
+        if read:
+            queries.append(
+                Query.read(f"{name}:read", read, rows=rows, frequency=frequency)
+            )
+        queries.append(
+            Query.write(f"{name}:write", written, rows=rows, frequency=frequency)
+        )
+        return tuple(queries)
+
+
+def parse_workload_sql(
+    sql: str, schema: Schema, name: str = "workload"
+) -> Workload:
+    """Parse annotated DML statements into a :class:`Workload`."""
+    builder = _WorkloadBuilder(schema)
+    for comments, statement_tokens in _split_statements_with_comments(sql):
+        annotations = _parse_annotations(comments)
+        if annotations.transaction:
+            builder.start_transaction(annotations.transaction)
+        if not statement_tokens:
+            continue
+        statement = SqlParser(statement_tokens).parse_statement()
+        builder.add_statement(statement, annotations)
+    return builder.finish(name)
+
+
+def load_instance_from_sql(
+    schema_sql: str, workload_sql: str, name: str = "sql-instance"
+) -> ProblemInstance:
+    """Build a complete problem instance from two SQL texts."""
+    schema = parse_schema_sql(schema_sql, name=f"{name}-schema")
+    workload = parse_workload_sql(workload_sql, schema, name=f"{name}-workload")
+    return ProblemInstance(schema, workload, name=name)

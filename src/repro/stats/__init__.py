@@ -1,0 +1,24 @@
+"""Workload statistics estimation from execution traces.
+
+The paper assumes "transactions used in the workload together with some
+run-time statistics are ... known when applying the algorithms". This
+package builds those statistics: feed it the raw query events a DBMS
+(or our simulator) logs — which template ran, how many rows it touched
+per table — and it produces the frequencies ``f_q`` and row counts
+``n_{a,q}`` the cost model needs, or re-estimates an existing
+instance's statistics in place.
+"""
+
+from repro.stats.estimator import (
+    QueryEvent,
+    TraceCollector,
+    estimate_statistics,
+    reestimate_instance,
+)
+
+__all__ = [
+    "QueryEvent",
+    "TraceCollector",
+    "estimate_statistics",
+    "reestimate_instance",
+]

@@ -1,0 +1,172 @@
+"""Estimate ``f_q`` / ``n_{a,q}`` from logged query executions."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import WorkloadError
+from repro.model.instance import ProblemInstance
+from repro.model.workload import Query, Transaction, Workload
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One logged execution of a query template.
+
+    ``rows`` maps table name to the number of rows this execution
+    retrieved from / wrote to that table.
+    """
+
+    query_name: str
+    rows: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for table, count in self.rows.items():
+            if count < 0:
+                raise WorkloadError(
+                    f"event for {self.query_name!r}: negative row count "
+                    f"for table {table!r}"
+                )
+
+
+@dataclass(frozen=True)
+class QueryStatistics:
+    """Aggregated statistics of one query template."""
+
+    query_name: str
+    executions: int
+    frequency: float  # executions normalised by the trace window
+    mean_rows: dict[str, float]
+
+
+class TraceCollector:
+    """Accumulates query events and aggregates them into statistics.
+
+    >>> collector = TraceCollector()
+    >>> collector.record("getUser", {"Users": 1})
+    >>> collector.record("getUser", {"Users": 3})
+    >>> stats = collector.aggregate()["getUser"]
+    >>> stats.executions, stats.mean_rows["Users"]
+    (2, 2.0)
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+        self._row_sums: dict[str, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        self._row_counts: dict[str, dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self.total_events = 0
+
+    def record(self, query_name: str, rows: Mapping[str, float] | None = None) -> None:
+        """Log one execution of ``query_name``."""
+        self.add(QueryEvent(query_name, dict(rows or {})))
+
+    def add(self, event: QueryEvent) -> None:
+        self._counts[event.query_name] += 1
+        self.total_events += 1
+        for table, count in event.rows.items():
+            self._row_sums[event.query_name][table] += float(count)
+            self._row_counts[event.query_name][table] += 1
+
+    def extend(self, events: Iterable[QueryEvent]) -> None:
+        for event in events:
+            self.add(event)
+
+    def aggregate(self, frequency_scale: float | None = None) -> dict[str, QueryStatistics]:
+        """Aggregate into per-template statistics.
+
+        ``frequency_scale`` divides the execution counts (e.g. the trace
+        duration in seconds to get executions/second); by default the
+        raw execution count is the frequency, which is what the cost
+        model needs (only relative frequencies matter).
+        """
+        scale = frequency_scale or 1.0
+        result: dict[str, QueryStatistics] = {}
+        for name, count in self._counts.items():
+            mean_rows = {
+                table: self._row_sums[name][table] / self._row_counts[name][table]
+                for table in self._row_sums[name]
+            }
+            result[name] = QueryStatistics(
+                query_name=name,
+                executions=count,
+                frequency=count / scale,
+                mean_rows=mean_rows,
+            )
+        return result
+
+
+def estimate_statistics(
+    events: Iterable[QueryEvent], frequency_scale: float | None = None
+) -> dict[str, QueryStatistics]:
+    """One-shot aggregation of an event iterable."""
+    collector = TraceCollector()
+    collector.extend(events)
+    return collector.aggregate(frequency_scale)
+
+
+def reestimate_instance(
+    instance: ProblemInstance,
+    events: Iterable[QueryEvent],
+    frequency_scale: float | None = None,
+    keep_missing: bool = True,
+) -> ProblemInstance:
+    """Replace an instance's statistics with trace-derived ones.
+
+    The structural workload (which queries exist, what they access) is
+    kept; ``f_q`` and ``n_{a,q}`` come from the trace. Queries that
+    never appear in the trace keep their old statistics when
+    ``keep_missing`` is true, otherwise they are dropped (a transaction
+    whose queries all vanish is dropped with them).
+    """
+    statistics = estimate_statistics(events, frequency_scale)
+    known_names = {query.name for query in instance.queries}
+    for name in statistics:
+        if name not in known_names:
+            raise WorkloadError(
+                f"trace contains unknown query template {name!r}"
+            )
+
+    transactions: list[Transaction] = []
+    for transaction in instance.workload:
+        queries: list[Query] = []
+        for query in transaction:
+            stats = statistics.get(query.name)
+            if stats is None:
+                if keep_missing:
+                    queries.append(query)
+                continue
+            rows = dict(query.rows)
+            for table, mean in stats.mean_rows.items():
+                if table not in query.tables:
+                    raise WorkloadError(
+                        f"trace rows for {query.name!r} mention table "
+                        f"{table!r} the query does not touch"
+                    )
+                if mean > 0:
+                    rows[table] = mean
+            queries.append(
+                Query(
+                    name=query.name,
+                    kind=query.kind,
+                    attributes=query.attributes,
+                    rows=rows,
+                    frequency=max(stats.frequency, 1e-9),
+                    extra_tables=query.extra_tables,
+                )
+            )
+        if queries:
+            transactions.append(Transaction(transaction.name, tuple(queries)))
+    if not transactions:
+        raise WorkloadError("re-estimation dropped every transaction")
+    workload = Workload(
+        transactions, name=f"{instance.workload.name}/traced"
+    )
+    return ProblemInstance(
+        instance.schema, workload, name=f"{instance.name} (traced)"
+    )

@@ -1,0 +1,92 @@
+"""Benchmark harness plumbing (formatting, config, fast table targets)."""
+
+import pytest
+
+from repro.bench.config import BenchProfile, get_profile
+from repro.bench.formatting import BenchTable, format_cell, render_table
+from repro.bench.runner import TABLE_FUNCTIONS, run_table
+from repro.exceptions import ReproError
+from repro.sa.options import SaOptions
+
+FAST_PROFILE = BenchProfile(
+    name="test",
+    qp_time_limit=10.0,
+    qp_gap=1e-3,
+    sa_options=SaOptions(inner_loops=4, max_outer_loops=4, seed=0),
+    include_large=False,
+    table1_sizes=(20,),
+)
+
+
+class TestFormatting:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(3.0) == "3"
+        assert format_cell(3.25) == "3.250"
+        assert format_cell("x") == "x"
+
+    def test_render_aligns_columns(self):
+        table = BenchTable(title="T", columns=["a", "long_header"])
+        table.add_row(a=1, long_header="v")
+        table.add_row(a=22, long_header="w")
+        text = render_table(table)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[2]
+        assert len({line.index("v") for line in lines if "v" in line}) == 1
+
+    def test_notes_rendered(self):
+        table = BenchTable(title="T", columns=["a"], notes=["hello"])
+        assert "note: hello" in render_table(table)
+
+    def test_column_values(self):
+        table = BenchTable(title="T", columns=["a"])
+        table.add_row(a=1)
+        table.add_row(a=2)
+        assert table.column_values("a") == [1, 2]
+
+
+class TestProfiles:
+    def test_default_profile_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert get_profile().name == "quick"
+
+    def test_env_var_selects_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "paper")
+        assert get_profile().name == "paper"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError, match="unknown bench profile"):
+            get_profile("warp-speed")
+
+    def test_sa_for_reduces_large_instances(self):
+        profile = get_profile("paper")
+        small = profile.sa_for(100)
+        large = profile.sa_for(1000)
+        assert large.max_outer_loops <= small.max_outer_loops
+
+
+class TestTargets:
+    def test_all_paper_tables_registered(self):
+        for name in ("table1", "table2", "table3", "table4", "table5", "table6"):
+            assert name in TABLE_FUNCTIONS
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ReproError, match="unknown bench target"):
+            run_table("table99")
+
+    def test_table2_lists_all_named_instances(self):
+        table = run_table("table2", FAST_PROFILE)
+        from repro.instances.library import TABLE2_INSTANCES
+
+        assert len(table.rows) == len(TABLE2_INSTANCES)
+        assert "rndAt4x15" in table.column_values("name")
+
+    def test_table4_produces_three_sites(self):
+        table = run_table("table4", FAST_PROFILE)
+        assert table.column_values("site") == [1, 2, 3]
+        # All five transactions distributed.
+        transactions = ", ".join(str(v) for v in table.column_values("transactions"))
+        for name in ("NewOrder", "Payment", "Delivery"):
+            assert name in transactions
+        assert any("objective" in note for note in table.notes)

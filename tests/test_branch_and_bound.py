@@ -1,0 +1,139 @@
+"""The from-scratch branch-and-bound MIP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.branch_and_bound import (
+    BranchAndBoundOptions,
+    solution_violations,
+    solve_mip_bnb,
+)
+from repro.solver.model import MipModel
+from repro.solver.scipy_backend import solve_mip_scipy
+from repro.solver.solution import SolutionStatus
+
+
+def _knapsack_model():
+    # max 10a + 6b + 4c, 5a + 4b + 3c <= 10, binaries -> optimum 16 (a, b).
+    model = MipModel("knapsack")
+    a = model.binary_variable("a")
+    b = model.binary_variable("b")
+    c = model.binary_variable("c")
+    model.add_constraint(5 * a + 4 * b + 3 * c <= 10)
+    model.minimize(-10 * a - 6 * b - 4 * c)
+    return model
+
+
+class TestKnownMips:
+    def test_knapsack(self):
+        model = _knapsack_model()
+        solution = solve_mip_bnb(model.to_standard_arrays())
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-16.0)
+
+    def test_integer_rounding_not_assumed(self):
+        # LP relaxation optimum is fractional; integer optimum differs.
+        model = MipModel()
+        x = model.add_variable("x", upper=10, integer=True)
+        y = model.add_variable("y", upper=10, integer=True)
+        model.add_constraint(2 * x + 5 * y <= 16)
+        model.minimize(-3 * x - 4 * y)
+        solution = solve_mip_bnb(model.to_standard_arrays())
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-24.0)  # x=8, y=0
+
+    def test_infeasible_mip(self):
+        model = MipModel()
+        x = model.binary_variable("x")
+        model.add_constraint(x >= 2)
+        model.minimize(x)
+        solution = solve_mip_bnb(model.to_standard_arrays())
+        assert solution.status is SolutionStatus.INFEASIBLE
+
+    def test_mixed_integer_continuous(self):
+        model = MipModel()
+        x = model.add_variable("x", upper=5, integer=True)
+        y = model.add_variable("y", upper=5)
+        model.add_constraint(x + y <= 4.5)
+        model.minimize(-x - 2 * y)
+        solution = solve_mip_bnb(model.to_standard_arrays())
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-9.0)  # y=4.5, x=0
+
+    def test_warm_start_accepted(self):
+        model = _knapsack_model()
+        arrays = model.to_standard_arrays()
+        incumbent = np.array([1.0, 1.0, 0.0])
+        solution = solve_mip_bnb(arrays, incumbent=incumbent)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-16.0)
+
+    def test_infeasible_warm_start_ignored(self):
+        model = _knapsack_model()
+        arrays = model.to_standard_arrays()
+        incumbent = np.array([1.0, 1.0, 1.0])  # violates the capacity
+        solution = solve_mip_bnb(arrays, incumbent=incumbent)
+        assert solution.objective == pytest.approx(-16.0)
+
+    def test_node_limit_returns_feasible_or_no_solution(self):
+        model = _knapsack_model()
+        options = BranchAndBoundOptions(node_limit=1)
+        solution = solve_mip_bnb(model.to_standard_arrays(), options=options)
+        assert solution.status in (
+            SolutionStatus.OPTIMAL,  # may solve at the root
+            SolutionStatus.FEASIBLE,
+            SolutionStatus.NO_SOLUTION,
+        )
+
+    def test_bound_is_valid(self):
+        model = _knapsack_model()
+        solution = solve_mip_bnb(model.to_standard_arrays())
+        assert solution.bound is not None
+        assert solution.bound <= solution.objective + 1e-9
+
+
+class TestSolutionViolations:
+    def test_counts_bound_and_row_violations(self):
+        model = MipModel()
+        x = model.add_variable("x", upper=1)
+        model.add_constraint(x <= 0.5)
+        arrays = model.to_standard_arrays()
+        assert solution_violations(arrays, np.array([0.4])) == 0.0
+        assert solution_violations(arrays, np.array([0.9])) > 0.0
+        assert solution_violations(arrays, np.array([1.5])) > 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_matches_highs_on_random_mips(seed):
+    """Differential test against scipy.optimize.milp."""
+    rng = np.random.default_rng(seed)
+    model = MipModel(f"m{seed}")
+    n = int(rng.integers(2, 6))
+    variables = [
+        model.add_variable(
+            f"v{i}",
+            upper=float(rng.integers(1, 6)),
+            integer=bool(rng.integers(0, 2)),
+        )
+        for i in range(n)
+    ]
+    for _ in range(int(rng.integers(1, 5))):
+        coefficients = rng.integers(-4, 5, size=n).astype(float)
+        expr = sum(c * v for c, v in zip(coefficients, variables))
+        rhs = float(rng.integers(-10, 11))
+        if rng.integers(0, 2):
+            model.add_constraint(expr <= rhs)
+        else:
+            model.add_constraint(expr >= rhs)
+    model.minimize(
+        sum(float(rng.integers(-5, 6)) * v for v in variables)
+    )
+    arrays = model.to_standard_arrays()
+    ours = solve_mip_bnb(arrays, BranchAndBoundOptions(relative_gap=1e-9))
+    reference = solve_mip_scipy(arrays, gap=1e-9)
+    assert ours.status.has_solution == reference.status.has_solution
+    if ours.objective is not None:
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-5)
+        assert solution_violations(arrays, ours.values) == 0.0

@@ -1,0 +1,70 @@
+"""ASCII chart rendering of sweep series."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, render_series, render_series_breakdown
+from repro.analysis.sweeps import SweepPoint, SweepSeries
+
+
+def _series():
+    series = SweepSeries("demo", "p", "qp")
+    for parameter, objective, local in ((0.0, 100.0, 100.0), (8.0, 160.0, 120.0)):
+        series.points.append(
+            SweepPoint(
+                parameter=parameter,
+                objective=objective,
+                local_access=local,
+                transfer=(objective - local) / 8 if parameter else 0.0,
+                max_load=50.0,
+                replication_factor=1.2,
+                wall_time=0.1,
+            )
+        )
+    return series
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values_render_empty(self):
+        chart = bar_chart(["a", "b"], [0.0, 4.0], width=8)
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_small_positive_values_get_one_char(self):
+        chart = bar_chart(["a", "b"], [0.001, 100.0], width=10)
+        assert chart.splitlines()[0].count("#") == 1
+
+    def test_title_and_unit(self):
+        chart = bar_chart(["x"], [3.0], title="T", unit="s")
+        assert chart.startswith("T\n")
+        assert "3s" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_chart(self):
+        assert "empty" in bar_chart([], [])
+
+
+class TestSeriesRendering:
+    def test_render_series_labels_points(self):
+        text = render_series(_series())
+        assert "p=0" in text and "p=8" in text
+        assert "objective (4)" in text
+
+    def test_breakdown_marks_transfer(self):
+        text = render_series_breakdown(_series())
+        # The p=8 row has a transfer component rendered as '+'.
+        p8_line = next(line for line in text.splitlines() if line.startswith("p=8"))
+        assert "+" in p8_line
+        p0_line = next(line for line in text.splitlines() if line.startswith("p=0"))
+        assert "+" not in p0_line
+
+    def test_empty_series(self):
+        empty = SweepSeries("demo", "p", "qp")
+        assert "empty" in render_series_breakdown(empty)

@@ -1,0 +1,70 @@
+"""Indicator-array construction (Section 2.1) and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel.constants import build_indicators
+from tests.conftest import small_random_instance
+
+
+class TestTinyIndicators:
+    @pytest.fixture(autouse=True)
+    def _build(self, tiny_instance):
+        self.instance = tiny_instance
+        self.arrays = build_indicators(tiny_instance)
+
+    def test_shapes(self):
+        assert self.arrays.alpha.shape == (5, 4)
+        assert self.arrays.beta.shape == (5, 4)
+        assert self.arrays.gamma.shape == (4, 2)
+        assert self.arrays.delta.shape == (4,)
+        assert self.arrays.phi.shape == (5, 2)
+
+    def test_delta_marks_writes(self):
+        # queries: getNarrow, getWide, find, update
+        assert list(self.arrays.delta) == [0, 0, 0, 1]
+
+    def test_alpha_only_accessed_attributes(self):
+        index = self.instance.attribute_index
+        q = self.instance.query_index
+        assert self.arrays.alpha[index["Narrow.key"], q["Reader.getNarrow"]] == 1
+        assert self.arrays.alpha[index["Wide.blob"], q["Reader.getWide"]] == 0
+
+    def test_beta_covers_whole_tables(self):
+        index = self.instance.attribute_index
+        q = self.instance.query_index
+        # getWide touches table Wide, so blob is in beta despite not alpha.
+        assert self.arrays.beta[index["Wide.blob"], q["Reader.getWide"]] == 1
+        assert self.arrays.beta[index["Narrow.key"], q["Reader.getWide"]] == 0
+
+    def test_phi_only_reads(self):
+        index = self.instance.attribute_index
+        t = self.instance.transaction_index
+        # Writer only WRITES Wide.payload: phi must be 0 there.
+        assert self.arrays.phi[index["Wide.payload"], t["Writer"]] == 0
+        assert self.arrays.phi[index["Narrow.key"], t["Writer"]] == 1
+
+    def test_rows_follow_query_statistics(self):
+        index = self.instance.attribute_index
+        q = self.instance.query_index
+        assert self.arrays.rows[index["Wide.payload"], q["Writer.update"]] == 2.0
+        assert self.arrays.rows[index["Narrow.key"], q["Writer.find"]] == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_indicator_invariants(seed):
+    """Structural invariants that must hold for every instance."""
+    instance = small_random_instance(seed)
+    arrays = build_indicators(instance)
+    # alpha implies beta (accessing an attribute means touching its table).
+    assert np.all(arrays.alpha <= arrays.beta)
+    # Every query belongs to exactly one transaction.
+    assert np.all(arrays.gamma.sum(axis=1) == 1)
+    # phi is exactly the read-projection of alpha through gamma.
+    read_alpha = arrays.alpha * (1 - arrays.delta)[None, :]
+    expected_phi = (read_alpha @ arrays.gamma) > 0
+    assert np.array_equal(arrays.phi > 0, expected_phi)
+    # Row counts are positive exactly where beta is set.
+    assert np.all((arrays.rows > 0) == (arrays.beta > 0))

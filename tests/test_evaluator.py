@@ -1,0 +1,196 @@
+"""The solution evaluator: objective identities and feasibility checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.config import CostParameters, WriteAccounting
+from repro.costmodel.evaluator import (
+    SolutionEvaluator,
+    check_solution_feasible,
+    feasibility_violations,
+)
+from repro.exceptions import InstanceError
+from tests.conftest import random_feasible_solution, small_random_instance
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    num_sites=st.integers(min_value=1, max_value=4),
+    penalty=st.sampled_from([0.0, 2.0, 8.0]),
+)
+def test_objective4_equals_breakdown_sum(seed, num_sites, penalty):
+    """Objective (4) == AR + AW + p*B for any feasible solution."""
+    instance = small_random_instance(seed)
+    coefficients = build_coefficients(
+        instance, CostParameters(network_penalty=penalty)
+    )
+    x, y = random_feasible_solution(coefficients, num_sites, seed + 1)
+    evaluator = SolutionEvaluator(coefficients)
+    breakdown = evaluator.breakdown(x, y)
+    assert breakdown.objective4 == pytest.approx(
+        breakdown.read_access
+        + breakdown.write_access
+        + penalty * breakdown.transfer
+    )
+    assert evaluator.objective4(x, y) == pytest.approx(breakdown.objective4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    num_sites=st.integers(min_value=2, max_value=4),
+)
+def test_objective6_blends_cost_and_max_load(seed, num_sites):
+    instance = small_random_instance(seed)
+    parameters = CostParameters(load_balance_lambda=0.7)
+    coefficients = build_coefficients(instance, parameters)
+    x, y = random_feasible_solution(coefficients, num_sites, seed)
+    evaluator = SolutionEvaluator(coefficients)
+    loads = evaluator.site_loads(x, y)
+    expected = 0.7 * evaluator.objective4(x, y) + 0.3 * loads.max()
+    assert evaluator.objective6(x, y) == pytest.approx(expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_site_loads_sum_to_local_access(seed):
+    """Sum of per-site work == A (reads once at home site + writes per
+    replica), matching equation (5)'s derivation from (3)."""
+    instance = small_random_instance(seed)
+    coefficients = build_coefficients(instance, CostParameters())
+    x, y = random_feasible_solution(coefficients, 3, seed)
+    evaluator = SolutionEvaluator(coefficients)
+    breakdown = evaluator.breakdown(x, y)
+    assert sum(breakdown.site_loads) == pytest.approx(breakdown.local_access)
+
+
+def test_single_site_has_no_transfer(tiny_coefficients):
+    evaluator = SolutionEvaluator(tiny_coefficients)
+    x = np.ones((2, 1), dtype=bool)
+    y = np.ones((5, 1), dtype=bool)
+    breakdown = evaluator.breakdown(x, y)
+    assert breakdown.transfer == 0.0
+    assert breakdown.objective4 == pytest.approx(
+        tiny_coefficients.single_site_cost()
+    )
+
+
+def test_transfer_counts_only_remote_replicas(tiny_coefficients):
+    """Writer updates Wide.payload (width 100, 2 rows): a remote replica
+    costs exactly 200 transfer bytes."""
+    instance = tiny_coefficients.instance
+    evaluator = SolutionEvaluator(tiny_coefficients)
+    a = instance.attribute_index["Wide.payload"]
+    x = np.zeros((2, 2), dtype=bool)
+    x[:, 0] = True  # both transactions on site 0
+    y = np.zeros((5, 2), dtype=bool)
+    y[:, 0] = True
+    base = evaluator.breakdown(x, y)
+    assert base.transfer == 0.0
+    y[a, 1] = True  # remote replica of the updated attribute
+    replicated = evaluator.breakdown(x, y)
+    assert replicated.transfer == pytest.approx(200.0)
+
+
+class TestWriteAccountingModes:
+    def _layout(self, coefficients):
+        x = np.zeros((2, 2), dtype=bool)
+        x[0, 0] = x[1, 1] = True
+        y = np.ones((coefficients.num_attributes, 2), dtype=bool)
+        return x, y
+
+    def test_none_mode_has_zero_write_access(self, tiny_instance):
+        coefficients = build_coefficients(
+            tiny_instance,
+            CostParameters(write_accounting=WriteAccounting.NO_ATTRIBUTES),
+        )
+        x, y = self._layout(coefficients)
+        breakdown = SolutionEvaluator(coefficients).breakdown(x, y)
+        assert breakdown.write_access == 0.0
+
+    def test_relevant_mode_never_exceeds_all_mode(self, tiny_instance):
+        all_coeff = build_coefficients(tiny_instance, CostParameters())
+        rel_coeff = build_coefficients(
+            tiny_instance,
+            CostParameters(write_accounting=WriteAccounting.RELEVANT_ATTRIBUTES),
+        )
+        x, y = self._layout(all_coeff)
+        aw_all = SolutionEvaluator(all_coeff).breakdown(x, y).write_access
+        aw_rel = SolutionEvaluator(rel_coeff).breakdown(x, y).write_access
+        assert aw_rel <= aw_all + 1e-9
+
+    def test_relevant_mode_counts_colocated_fraction(self, tiny_instance):
+        """A fraction containing the updated attribute is written whole."""
+        coefficients = build_coefficients(
+            tiny_instance,
+            CostParameters(write_accounting=WriteAccounting.RELEVANT_ATTRIBUTES),
+        )
+        instance = coefficients.instance
+        x = np.ones((2, 1), dtype=bool)
+        y = np.ones((5, 1), dtype=bool)
+        breakdown = SolutionEvaluator(coefficients).breakdown(x, y)
+        # Writer.update writes Wide.payload, 2 rows; the whole Wide
+        # fraction (width 304) is written: AW = 2 * 304.
+        assert breakdown.write_access == pytest.approx(2 * 304.0)
+
+
+class TestLatency:
+    def test_zero_without_penalty(self, tiny_coefficients):
+        evaluator = SolutionEvaluator(tiny_coefficients)
+        x, y = random_feasible_solution(tiny_coefficients, 2, 0)
+        assert evaluator.latency(x, y) == 0.0
+
+    def test_counts_remote_writing_queries(self, tiny_instance):
+        parameters = CostParameters(latency_penalty=10.0)
+        coefficients = build_coefficients(tiny_instance, parameters)
+        evaluator = SolutionEvaluator(coefficients)
+        instance = coefficients.instance
+        a = instance.attribute_index["Wide.payload"]
+        x = np.zeros((2, 2), dtype=bool)
+        x[:, 0] = True
+        y = np.zeros((5, 2), dtype=bool)
+        y[:, 0] = True
+        assert evaluator.latency(x, y) == 0.0
+        y[a, 1] = True  # now Writer.update writes remotely
+        assert evaluator.latency(x, y) == pytest.approx(10.0)
+
+
+class TestFeasibility:
+    def test_detects_homeless_transaction(self, tiny_coefficients):
+        x = np.zeros((2, 2), dtype=bool)
+        x[0, 0] = True  # transaction 1 placed nowhere
+        y = np.ones((5, 2), dtype=bool)
+        violations = feasibility_violations(tiny_coefficients, x, y)
+        assert any("on 0 sites" in v for v in violations)
+
+    def test_detects_missing_attribute(self, tiny_coefficients):
+        x = np.zeros((2, 2), dtype=bool)
+        x[:, 0] = True
+        y = np.ones((5, 2), dtype=bool)
+        y[3, :] = False
+        violations = feasibility_violations(tiny_coefficients, x, y)
+        assert any("on no site" in v for v in violations)
+
+    def test_detects_broken_colocation(self, tiny_coefficients):
+        instance = tiny_coefficients.instance
+        a = instance.attribute_index["Narrow.key"]
+        x = np.zeros((2, 2), dtype=bool)
+        x[0, 0] = x[1, 1] = True
+        y = np.ones((5, 2), dtype=bool)
+        y[a, 1] = False  # Writer reads Narrow.key on site 1
+        violations = feasibility_violations(tiny_coefficients, x, y)
+        assert any("co-location" in v for v in violations)
+
+    def test_feasible_solution_passes(self, tiny_coefficients):
+        x, y = random_feasible_solution(tiny_coefficients, 3, 42)
+        assert check_solution_feasible(tiny_coefficients, x, y)
+
+    def test_shape_validation(self, tiny_coefficients):
+        evaluator = SolutionEvaluator(tiny_coefficients)
+        with pytest.raises(InstanceError, match="shape"):
+            evaluator.objective4(np.ones((3, 2)), np.ones((5, 2)))
+        with pytest.raises(InstanceError, match="number of sites"):
+            evaluator.objective4(np.ones((2, 2)), np.ones((5, 3)))

@@ -1,0 +1,97 @@
+"""LinExpr/Variable/Constraint algebra."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solver.expr import Constraint, LinExpr, Sense, Variable
+
+
+@pytest.fixture
+def variables():
+    return Variable(0, "x"), Variable(1, "y")
+
+
+class TestVariable:
+    def test_bounds_validation(self):
+        with pytest.raises(SolverError, match="upper bound"):
+            Variable(0, "x", lower=5, upper=1)
+
+    def test_arithmetic_builds_expressions(self, variables):
+        x, y = variables
+        expr = 2 * x + y - 3
+        assert expr.terms == {0: 2.0, 1: 1.0}
+        assert expr.constant == -3.0
+
+    def test_negation(self, variables):
+        x, _ = variables
+        assert (-x).terms == {0: -1.0}
+
+    def test_rsub(self, variables):
+        x, _ = variables
+        expr = 5 - x
+        assert expr.terms == {0: -1.0}
+        assert expr.constant == 5.0
+
+
+class TestLinExpr:
+    def test_terms_merge(self, variables):
+        x, y = variables
+        expr = x + x + y
+        assert expr.terms == {0: 2.0, 1: 1.0}
+
+    def test_from_terms_drops_zeros(self, variables):
+        x, y = variables
+        expr = LinExpr.from_terms([(x, 0.0), (y, 2.0)])
+        assert expr.terms == {1: 2.0}
+
+    def test_from_terms_accumulates_duplicates(self, variables):
+        x, _ = variables
+        expr = LinExpr.from_terms([(x, 1.0), (x, 2.5)])
+        assert expr.terms == {0: 3.5}
+
+    def test_scalar_multiplication(self, variables):
+        x, y = variables
+        expr = (x + 2 * y + 1) * 3
+        assert expr.terms == {0: 3.0, 1: 6.0}
+        assert expr.constant == 3.0
+
+    def test_multiplying_by_expression_fails(self, variables):
+        x, y = variables
+        with pytest.raises(SolverError, match="scalar"):
+            (x + 1) * (y + 1)  # quadratic terms are not representable
+
+    def test_value_evaluation(self, variables):
+        x, y = variables
+        expr = 2 * x + 3 * y + 1
+        assert expr.value([10, 100]) == 321.0
+
+
+class TestConstraint:
+    def test_normalisation_moves_constants_right(self, variables):
+        x, y = variables
+        constraint = (x + 2 <= y + 5)
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is Sense.LE
+        assert constraint.terms == {0: 1.0, 1: -1.0}
+        assert constraint.rhs == 3.0
+
+    def test_ge_and_eq(self, variables):
+        x, _ = variables
+        assert (x >= 2).sense is Sense.GE
+        assert (x == 2).sense is Sense.EQ
+
+    def test_violation_le(self, variables):
+        x, _ = variables
+        constraint = x <= 5
+        assert constraint.violation([5.0]) == 0.0
+        assert constraint.violation([7.0]) == pytest.approx(2.0, abs=1e-6)
+
+    def test_violation_eq(self, variables):
+        x, _ = variables
+        constraint = x == 5
+        assert constraint.violation([5.0]) == 0.0
+        assert constraint.violation([3.0]) == pytest.approx(2.0, abs=1e-6)
+
+    def test_with_name(self, variables):
+        x, _ = variables
+        assert (x <= 1).with_name("cap").name == "cap"

@@ -1,0 +1,59 @@
+"""Unit tests for ProblemInstance index maps."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.model.instance import ProblemInstance
+from repro.model.schema import SchemaBuilder
+from repro.model.workload import Query, Transaction, Workload
+
+
+@pytest.fixture
+def instance():
+    schema = SchemaBuilder("s").table("A", x=4, y=8).table("B", z=2).build()
+    workload = Workload(
+        [
+            Transaction("t1", (Query.read("q1", ["A.x"]), Query.write("q2", ["B.z"]))),
+            Transaction("t2", (Query.read("q3", ["A.y", "B.z"]),)),
+        ]
+    )
+    return ProblemInstance(schema, workload, name="idx")
+
+
+def test_sizes(instance):
+    assert instance.num_attributes == 3
+    assert instance.num_transactions == 2
+    assert instance.num_queries == 3
+
+
+def test_attribute_index_matches_canonical_order(instance):
+    assert instance.attribute_index == {"A.x": 0, "A.y": 1, "B.z": 2}
+
+
+def test_transaction_and_query_indexes(instance):
+    assert instance.transaction_index == {"t1": 0, "t2": 1}
+    assert instance.query_index == {"q1": 0, "q2": 1, "q3": 2}
+
+
+def test_query_transaction_ownership(instance):
+    assert instance.query_transaction == (0, 0, 1)
+
+
+def test_table_attributes(instance):
+    assert instance.table_attributes == {"A": (0, 1), "B": (2,)}
+
+
+def test_attribute_widths(instance):
+    assert instance.attribute_widths() == [4, 8, 2]
+
+
+def test_validates_workload_against_schema():
+    schema = SchemaBuilder("s").table("A", x=4).build()
+    workload = Workload([Transaction("t", (Query.read("q", ["A.missing"]),))])
+    with pytest.raises(WorkloadError):
+        ProblemInstance(schema, workload)
+
+
+def test_repr_mentions_sizes(instance):
+    assert "|A|=3" in repr(instance)
+    assert "idx" in repr(instance)

@@ -1,0 +1,65 @@
+"""The named instance library (Table 2)."""
+
+import pytest
+
+from repro.exceptions import InstanceError
+from repro.instances.library import (
+    TABLE2_INSTANCES,
+    instance_catalog,
+    named_instance,
+)
+from repro.model.statistics import describe_instance
+
+
+def test_catalog_contains_tpcc_and_table2_names():
+    catalog = instance_catalog()
+    assert "tpcc" in catalog
+    for name in ("rndAt4x15", "rndBt16x15", "rndAt8x15u50", "rndBt16x15u50",
+                 "rndAt64x100", "rndBt64x15"):
+        assert name in catalog
+
+
+def test_named_instance_tpcc():
+    instance = named_instance("tpcc")
+    assert instance.num_attributes == 92
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(InstanceError, match="unknown instance"):
+        named_instance("nope")
+
+
+def test_rnd_classes_follow_table2_parameters():
+    a_class = TABLE2_INSTANCES["rndAt8x15"]
+    assert a_class.max_attributes_per_table == 30
+    assert a_class.max_table_refs_per_query == 3
+    assert a_class.max_attribute_refs_per_query == 8
+    b_class = TABLE2_INSTANCES["rndBt8x15"]
+    assert b_class.max_attributes_per_table == 5
+    assert b_class.max_table_refs_per_query == 6
+    assert b_class.max_attribute_refs_per_query == 28
+    for parameters in TABLE2_INSTANCES.values():
+        assert parameters.attribute_widths == (2.0, 4.0, 8.0, 16.0)
+        assert parameters.max_queries_per_transaction == 3
+
+
+def test_u50_instances_have_heavy_updates():
+    assert TABLE2_INSTANCES["rndAt8x15u50"].update_percent == 50.0
+    instance = named_instance("rndAt8x15u50")
+    stats = describe_instance(instance)
+    assert stats.update_fraction > 0.25
+
+
+def test_named_instances_deterministic():
+    first = named_instance("rndAt4x15")
+    second = named_instance("rndAt4x15")
+    assert [q.attributes for q in first.queries] == [
+        q.attributes for q in second.queries
+    ]
+
+
+def test_rnd_a_has_more_attributes_than_rnd_b():
+    """rndA: many attrs/table; rndB: few — the classes must separate."""
+    a = named_instance("rndAt8x15")
+    b = named_instance("rndBt8x15")
+    assert a.num_attributes > b.num_attributes

@@ -1,0 +1,128 @@
+"""The linearised model (7): construction, extraction, consistency."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.config import CostParameters, WriteAccounting
+from repro.costmodel.evaluator import SolutionEvaluator
+from repro.exceptions import SolverError
+from repro.qp.linearize import build_linearized_model
+from tests.conftest import small_random_instance
+
+
+class TestConstruction:
+    def test_variable_counts(self, tiny_coefficients):
+        linearized = build_linearized_model(tiny_coefficients, 2)
+        model = linearized.model
+        # 2 transactions * 2 sites + 5 attributes * 2 sites binaries.
+        assert model.num_integer_variables == 4 + 10
+        assert linearized.m_var is not None  # lambda < 1 by default
+
+    def test_pure_cost_has_no_load_variable(self, tiny_instance):
+        coefficients = build_coefficients(
+            tiny_instance, CostParameters(load_balance_lambda=1.0)
+        )
+        linearized = build_linearized_model(coefficients, 2)
+        assert linearized.m_var is None
+
+    def test_u_variables_only_for_nonzero_pairs(self, tiny_coefficients):
+        linearized = build_linearized_model(tiny_coefficients, 2)
+        c1, c3 = tiny_coefficients.c1, tiny_coefficients.c3
+        pairs = {(t, a) for (t, a, _) in linearized.u_vars}
+        for t, a in pairs:
+            assert c1[a, t] != 0 or c3[a, t] != 0
+
+    def test_replication_flag_changes_constraint(self, tiny_coefficients):
+        replicated = build_linearized_model(tiny_coefficients, 2)
+        disjoint = build_linearized_model(
+            tiny_coefficients, 2, allow_replication=False
+        )
+        # Same sizes; only senses differ on the y-placement rows.
+        from repro.solver.expr import Sense
+
+        def y_senses(linearized):
+            return [
+                c.sense
+                for c in linearized.model.constraints
+                if c.name.startswith("place_y")
+            ]
+
+        assert all(s is Sense.GE for s in y_senses(replicated))
+        assert all(s is Sense.EQ for s in y_senses(disjoint))
+
+    def test_rejects_relevant_accounting(self, tiny_instance):
+        coefficients = build_coefficients(
+            tiny_instance,
+            CostParameters(write_accounting=WriteAccounting.RELEVANT_ATTRIBUTES),
+        )
+        with pytest.raises(SolverError, match="RELEVANT"):
+            build_linearized_model(coefficients, 2)
+
+    def test_rejects_zero_sites(self, tiny_coefficients):
+        with pytest.raises(SolverError, match="at least one site"):
+            build_linearized_model(tiny_coefficients, 0)
+
+    def test_symmetry_breaking_pins_first_transactions(self, tiny_coefficients):
+        linearized = build_linearized_model(tiny_coefficients, 2)
+        names = [c.name for c in linearized.model.constraints]
+        assert any(name.startswith("sym[") for name in names)
+        unbroken = build_linearized_model(
+            tiny_coefficients, 2, symmetry_breaking=False
+        )
+        assert not any(
+            c.name.startswith("sym[") for c in unbroken.model.constraints
+        )
+
+
+class TestSolutionConsistency:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mip_objective_matches_evaluator(self, seed):
+        """At the MIP optimum, the model's objective equals the
+        evaluator's objective (6) of the extracted solution, and every
+        u variable equals x*y."""
+        instance = small_random_instance(seed)
+        coefficients = build_coefficients(instance, CostParameters())
+        linearized = build_linearized_model(coefficients, 2)
+        solution = linearized.model.solve(backend="scipy", gap=1e-9)
+        x, y = linearized.extract(solution.values)
+        evaluator = SolutionEvaluator(coefficients)
+        assert solution.objective == pytest.approx(
+            evaluator.objective6(x, y), rel=1e-6
+        )
+        for (t, a, s), u in linearized.u_vars.items():
+            assert solution.values[u.index] == pytest.approx(
+                float(x[t, s] and y[a, s]), abs=1e-6
+            )
+
+    def test_incumbent_vector_round_trips(self, tiny_coefficients):
+        linearized = build_linearized_model(tiny_coefficients, 2)
+        x = np.array([[True, False], [False, True]])
+        phi = tiny_coefficients.phi_bool
+        y = (phi @ x).astype(bool)
+        y[~y.any(axis=1), 0] = True
+        values = linearized.incumbent_vector(x, y)
+        x2, y2 = linearized.extract(values)
+        np.testing.assert_array_equal(x, x2)
+        np.testing.assert_array_equal(y, y2)
+        # The incumbent must satisfy the model's constraints.
+        from repro.solver.branch_and_bound import solution_violations
+
+        assert solution_violations(
+            linearized.model.to_standard_arrays(), values
+        ) == 0.0
+
+    def test_latency_variables_created_for_writes(self, tiny_instance):
+        coefficients = build_coefficients(
+            tiny_instance, CostParameters(latency_penalty=10.0)
+        )
+        linearized = build_linearized_model(coefficients, 2, latency=True)
+        assert len(linearized.psi_vars) == 1  # one write query
+        solution = linearized.model.solve(backend="scipy", gap=1e-9)
+        x, y = linearized.extract(solution.values)
+        evaluator = SolutionEvaluator(coefficients)
+        q_index = next(iter(linearized.psi_vars))
+        psi_value = solution.values[linearized.psi_vars[q_index].index]
+        assert psi_value == pytest.approx(
+            evaluator.latency(x, y) / 10.0, abs=1e-6
+        )

@@ -1,0 +1,102 @@
+"""PartitioningResult and layout rendering."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.evaluator import SolutionEvaluator
+from repro.exceptions import InstanceError
+from repro.partition.assignment import PartitioningResult, single_site_partitioning
+from repro.partition.layout import build_layout, layout_summary, render_layout
+from tests.conftest import random_feasible_solution
+
+
+@pytest.fixture
+def result(tiny_coefficients):
+    x, y = random_feasible_solution(tiny_coefficients, 2, seed=5)
+    evaluator = SolutionEvaluator(tiny_coefficients)
+    return PartitioningResult(
+        coefficients=tiny_coefficients,
+        x=x,
+        y=y,
+        objective=evaluator.objective4(x, y),
+        solver="test",
+    )
+
+
+class TestPartitioningResult:
+    def test_rejects_infeasible_solutions(self, tiny_coefficients):
+        x = np.zeros((2, 2), dtype=bool)  # nobody placed
+        y = np.ones((5, 2), dtype=bool)
+        with pytest.raises(InstanceError, match="infeasible"):
+            PartitioningResult(
+                coefficients=tiny_coefficients, x=x, y=y,
+                objective=0.0, solver="bad",
+            )
+
+    def test_accessors(self, result):
+        assert result.num_sites == 2
+        site = result.transaction_site("Reader")
+        assert site in (0, 1)
+        sites = result.attribute_sites("Narrow.key")
+        assert len(sites) >= 1
+
+    def test_replication_factor(self, result):
+        expected = result.y.sum() / result.y.shape[0]
+        assert result.replication_factor == pytest.approx(expected)
+
+    def test_breakdown_consistent_with_objective(self, result):
+        assert result.breakdown().objective4 == pytest.approx(result.objective)
+
+    def test_is_disjoint(self, tiny_coefficients):
+        x = np.zeros((2, 2), dtype=bool)
+        x[:, 0] = True
+        y = np.zeros((5, 2), dtype=bool)
+        y[:, 0] = True
+        evaluator = SolutionEvaluator(tiny_coefficients)
+        result = PartitioningResult(
+            coefficients=tiny_coefficients, x=x, y=y,
+            objective=evaluator.objective4(x, y), solver="t",
+        )
+        assert result.is_disjoint
+
+
+class TestSingleSite:
+    def test_everything_on_one_site(self, tiny_coefficients):
+        result = single_site_partitioning(tiny_coefficients)
+        assert result.num_sites == 1
+        assert result.x.all() and result.y.all()
+        assert result.proven_optimal
+        assert result.objective == pytest.approx(
+            tiny_coefficients.single_site_cost()
+        )
+
+
+class TestLayout:
+    def test_build_layout_partitions_everything(self, result):
+        layouts = build_layout(result)
+        assert len(layouts) == 2
+        all_transactions = [t for l in layouts for t in l.transactions]
+        assert sorted(all_transactions) == ["Reader", "Writer"]
+        # Every attribute appears on at least one site.
+        attributes = {a for l in layouts for a in l.attributes}
+        assert len(attributes) == 5
+
+    def test_fractions_group_by_table(self, result):
+        layouts = build_layout(result)
+        for layout in layouts:
+            for table, names in layout.fractions.items():
+                assert table in ("Narrow", "Wide")
+                assert names  # non-empty fractions only
+
+    def test_render_contains_sites_and_transactions(self, result):
+        text = render_layout(result)
+        assert "Site 1" in text and "Site 2" in text
+        assert "Transaction" in text
+
+    def test_render_truncation(self, result):
+        text = render_layout(result, max_rows=3)
+        assert "truncated" in text
+
+    def test_layout_summary_shows_loads(self, result):
+        text = layout_summary(result)
+        assert "site 1" in text and "load" in text

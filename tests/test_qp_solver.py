@@ -1,0 +1,117 @@
+"""The QP partitioner: exactness against brute force, options, limits."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.config import CostParameters
+from repro.exceptions import SolverError
+from repro.partition.assignment import single_site_partitioning
+from repro.qp.solver import QpPartitioner, solve_qp, _canonical_site_order
+from tests.conftest import brute_force_optimum, small_random_instance
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11])
+    @pytest.mark.parametrize("num_sites", [2, 3])
+    def test_matches_brute_force_pure_cost(self, seed, num_sites):
+        """With lambda = 1 (pure cost) the QP must find the enumerated
+        global optimum of objective (4)."""
+        instance = small_random_instance(seed, num_transactions=3, num_tables=2)
+        parameters = CostParameters(load_balance_lambda=1.0)
+        coefficients = build_coefficients(instance, parameters)
+        expected, _, _ = brute_force_optimum(coefficients, num_sites)
+        result = QpPartitioner(coefficients, num_sites).solve(
+            backend="scipy", gap=1e-9
+        )
+        assert result.objective == pytest.approx(expected, rel=1e-9)
+        assert result.proven_optimal
+
+    def test_scratch_backend_agrees_with_scipy(self):
+        instance = small_random_instance(5, num_transactions=2, num_tables=2)
+        parameters = CostParameters(load_balance_lambda=1.0)
+        coefficients = build_coefficients(instance, parameters)
+        scratch = QpPartitioner(coefficients, 2).solve(backend="scratch", gap=1e-9)
+        scipy_result = QpPartitioner(coefficients, 2).solve(
+            backend="scipy", gap=1e-9
+        )
+        assert scratch.objective == pytest.approx(scipy_result.objective, rel=1e-7)
+
+
+class TestOptions:
+    def test_single_site_equals_baseline(self, tiny_coefficients):
+        result = QpPartitioner(tiny_coefficients, 1).solve(backend="scipy")
+        baseline = single_site_partitioning(tiny_coefficients)
+        assert result.objective == pytest.approx(baseline.objective)
+
+    def test_disjoint_solution_has_one_replica_each(self, tiny_coefficients):
+        result = QpPartitioner(
+            tiny_coefficients, 2, allow_replication=False
+        ).solve(backend="scipy")
+        assert result.is_disjoint
+
+    def test_disjoint_never_cheaper_than_replicated_blended(self, tiny_coefficients):
+        """The disjoint feasible set is a subset: its optimal blended
+        objective (6) can never beat the replicated one."""
+        from repro.costmodel.evaluator import SolutionEvaluator
+
+        evaluator = SolutionEvaluator(tiny_coefficients)
+        replicated = QpPartitioner(tiny_coefficients, 2).solve(
+            backend="scipy", gap=1e-9
+        )
+        disjoint = QpPartitioner(
+            tiny_coefficients, 2, allow_replication=False
+        ).solve(backend="scipy", gap=1e-9)
+        assert evaluator.objective6(replicated.x, replicated.y) <= (
+            evaluator.objective6(disjoint.x, disjoint.y) + 1e-6
+        )
+
+    def test_conflicting_parameters_rejected(self, tiny_coefficients):
+        with pytest.raises(SolverError, match="conflicting"):
+            QpPartitioner(
+                tiny_coefficients, 2,
+                parameters=CostParameters(network_penalty=3.0),
+            )
+
+    def test_metadata_reports_model_size(self, tiny_coefficients):
+        result = QpPartitioner(tiny_coefficients, 2).solve(backend="scipy")
+        assert result.metadata["variables"] > 0
+        assert result.metadata["backend"] == "scipy-highs"
+
+    def test_warm_start_site_count_checked(self, tiny_coefficients):
+        partitioner = QpPartitioner(tiny_coefficients, 3)
+        other = QpPartitioner(tiny_coefficients, 2).solve(backend="scipy")
+        with pytest.raises(SolverError, match="sites"):
+            partitioner.solve(warm_start=other)
+
+    def test_warm_start_scratch_backend(self):
+        instance = small_random_instance(9, num_transactions=2, num_tables=2)
+        coefficients = build_coefficients(
+            instance, CostParameters(load_balance_lambda=1.0)
+        )
+        first = QpPartitioner(coefficients, 2).solve(backend="scipy", gap=1e-9)
+        warmed = QpPartitioner(coefficients, 2).solve(
+            backend="scratch", gap=1e-9, warm_start=first
+        )
+        assert warmed.objective == pytest.approx(first.objective, rel=1e-7)
+
+
+class TestCanonicalSiteOrder:
+    def test_orders_by_first_transaction(self):
+        x = np.array([[0, 1], [1, 0]], dtype=bool)
+        y = np.array([[1, 0], [0, 1], [1, 1]], dtype=bool)
+        cx, cy = _canonical_site_order(x, y)
+        assert cx[0, 0]  # transaction 0 now on site 0
+        np.testing.assert_array_equal(cy, y[:, [1, 0]])
+
+    def test_empty_sites_sorted_last(self):
+        x = np.array([[0, 1, 0]], dtype=bool)
+        y = np.ones((2, 3), dtype=bool)
+        cx, _ = _canonical_site_order(x, y)
+        assert cx[0, 0]
+
+
+def test_solve_qp_convenience(tiny_instance):
+    result = solve_qp(tiny_instance, 2, backend="scipy")
+    assert result.solver == "qp"
+    assert result.num_sites == 2

@@ -1,0 +1,112 @@
+"""The Section 5.3 random instance generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InstanceError
+from repro.instances.random_gen import (
+    InstanceParameters,
+    RandomInstanceGenerator,
+    generate_instance,
+)
+
+
+class TestParameterValidation:
+    def test_defaults_match_table1_bold_values(self):
+        parameters = InstanceParameters()
+        assert parameters.max_queries_per_transaction == 3  # A
+        assert parameters.update_percent == 10.0  # B
+        assert parameters.max_attributes_per_table == 15  # C
+        assert parameters.max_table_refs_per_query == 5  # D
+        assert parameters.max_attribute_refs_per_query == 15  # E
+        assert parameters.attribute_widths == (4.0, 8.0)  # F
+
+    def test_rejects_bad_update_percent(self):
+        with pytest.raises(InstanceError, match="update_percent"):
+            InstanceParameters(update_percent=150.0)
+
+    def test_rejects_empty_widths(self):
+        with pytest.raises(InstanceError, match="attribute_widths"):
+            InstanceParameters(attribute_widths=())
+
+    def test_rejects_zero_bounds(self):
+        with pytest.raises(InstanceError):
+            InstanceParameters(max_queries_per_transaction=0)
+
+    def test_with_override(self):
+        parameters = InstanceParameters().with_(update_percent=50.0)
+        assert parameters.update_percent == 50.0
+        assert parameters.max_queries_per_transaction == 3
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        parameters = InstanceParameters(num_transactions=5, num_tables=4)
+        first = generate_instance(parameters, seed=3)
+        second = generate_instance(parameters, seed=3)
+        assert [a.qualified_name for a in first.attributes] == [
+            a.qualified_name for a in second.attributes
+        ]
+        for qa, qb in zip(first.queries, second.queries):
+            assert qa.attributes == qb.attributes
+            assert qa.frequency == qb.frequency
+
+    def test_different_seeds_differ(self):
+        parameters = InstanceParameters(num_transactions=8, num_tables=8)
+        first = generate_instance(parameters, seed=1)
+        second = generate_instance(parameters, seed=2)
+        assert [q.attributes for q in first.queries] != [
+            q.attributes for q in second.queries
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_bounds_respected(self, seed):
+        parameters = InstanceParameters(
+            num_transactions=6,
+            num_tables=5,
+            max_queries_per_transaction=4,
+            update_percent=50.0,
+            max_attributes_per_table=7,
+            max_table_refs_per_query=3,
+            max_attribute_refs_per_query=6,
+            attribute_widths=(2.0, 16.0),
+            max_frequency=9,
+            max_rows=4,
+        )
+        instance = generate_instance(parameters, seed=seed)
+        assert instance.num_transactions == 6
+        assert len(instance.schema) == 5
+        for table in instance.schema.tables:
+            assert 1 <= len(table) <= 7
+            for attribute in table:
+                assert attribute.width in (2.0, 16.0)
+        for transaction in instance.workload:
+            assert 1 <= len(transaction) <= 4
+            for query in transaction:
+                assert 1 <= len(query.tables) <= 3
+                # At least one attribute per referenced table, at most
+                # max(E, #tables) references in total.
+                assert len(query.attributes) >= len(query.tables)
+                assert len(query.attributes) <= max(6, len(query.tables))
+                assert 1 <= query.frequency <= 9
+                for table in query.tables:
+                    assert 1 <= query.rows_for(table) <= 4
+
+    def test_zero_update_percent_all_reads(self):
+        parameters = InstanceParameters(update_percent=0.0)
+        instance = generate_instance(parameters, seed=5)
+        assert all(not q.is_write for q in instance.queries)
+
+    def test_hundred_update_percent_all_writes(self):
+        parameters = InstanceParameters(update_percent=100.0)
+        instance = generate_instance(parameters, seed=5)
+        assert all(q.is_write for q in instance.queries)
+
+    def test_generator_object_reusable(self):
+        generator = RandomInstanceGenerator(
+            InstanceParameters(num_transactions=3, num_tables=3), seed=0
+        )
+        first = generator.generate()
+        second = generator.generate()  # advances the stream
+        assert first.num_attributes >= 1 and second.num_attributes >= 1

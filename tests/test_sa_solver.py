@@ -1,0 +1,93 @@
+"""The SaPartitioner facade."""
+
+import pytest
+
+from repro.costmodel.config import CostParameters
+from repro.exceptions import SolverError
+from repro.sa.options import SaOptions
+from repro.sa.solver import SaPartitioner, solve_sa
+from tests.conftest import small_random_instance
+
+
+def test_returns_feasible_result(tiny_instance):
+    result = solve_sa(tiny_instance, 2, seed=0)
+    assert result.solver == "sa"
+    assert result.num_sites == 2
+    assert result.objective > 0
+    assert not result.proven_optimal
+
+
+def test_seed_makes_runs_reproducible():
+    instance = small_random_instance(11)
+    options = SaOptions(inner_loops=6, max_outer_loops=6, seed=42)
+    first = SaPartitioner(instance, 2, options=options).solve()
+    second = SaPartitioner(instance, 2, options=options).solve()
+    assert first.objective == second.objective
+    assert (first.x == second.x).all()
+    assert (first.y == second.y).all()
+
+
+def test_seed_argument_overrides_options(tiny_instance):
+    result = solve_sa(
+        tiny_instance, 2,
+        options=SaOptions(inner_loops=4, max_outer_loops=3),
+        seed=123,
+    )
+    assert result.metadata["iterations"] > 0
+
+
+def test_metadata_records_trace(tiny_instance):
+    result = solve_sa(tiny_instance, 2, seed=0)
+    for key in ("objective6", "iterations", "accepted", "outer_loops"):
+        assert key in result.metadata
+
+
+def test_invalid_sites_rejected(tiny_instance):
+    with pytest.raises(SolverError, match="at least one site"):
+        SaPartitioner(tiny_instance, 0)
+
+
+def test_conflicting_parameters_rejected(tiny_instance):
+    from repro.costmodel.coefficients import build_coefficients
+
+    coefficients = build_coefficients(tiny_instance, CostParameters())
+    with pytest.raises(SolverError, match="conflicting"):
+        SaPartitioner(
+            coefficients, 2, parameters=CostParameters(network_penalty=2.0)
+        )
+
+
+def test_objective_reported_is_objective4(tiny_instance):
+    """The paper reports objective (4) even though (6) is optimised."""
+    result = solve_sa(tiny_instance, 2, seed=3)
+    from repro.costmodel.evaluator import SolutionEvaluator
+
+    evaluator = SolutionEvaluator(result.coefficients)
+    assert result.objective == pytest.approx(
+        evaluator.objective4(result.x, result.y)
+    )
+    assert result.metadata["objective6"] == pytest.approx(
+        evaluator.objective6(result.x, result.y)
+    )
+
+
+def test_sa_beats_or_matches_single_site_often():
+    """On partitioning-friendly instances SA should find a reduction."""
+    from repro.costmodel.coefficients import build_coefficients
+    from repro.partition.assignment import single_site_partitioning
+
+    wins = 0
+    for seed in range(5):
+        instance = small_random_instance(
+            seed, num_tables=3, max_attributes_per_table=8,
+            max_attribute_refs_per_query=3, update_percent=10.0,
+        )
+        coefficients = build_coefficients(instance, CostParameters())
+        baseline = single_site_partitioning(coefficients).objective
+        result = SaPartitioner(
+            coefficients, 2,
+            options=SaOptions(inner_loops=10, max_outer_loops=12, seed=seed),
+        ).solve()
+        if result.objective < baseline - 1e-9:
+            wins += 1
+    assert wins >= 3

@@ -1,0 +1,158 @@
+"""findSolution sub-problems: greedy vs exact, forced replicas, repair."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.config import CostParameters
+from repro.costmodel.evaluator import SolutionEvaluator, check_solution_feasible
+from repro.exceptions import SolverError
+from repro.sa.state import random_transaction_placement
+from repro.sa.subsolve import SubproblemSolver
+from tests.conftest import small_random_instance
+
+
+@pytest.fixture
+def solver2(tiny_coefficients):
+    return SubproblemSolver(tiny_coefficients, 2)
+
+
+class TestOptimizeY:
+    def test_forced_replicas_cover_reads(self, solver2, tiny_coefficients):
+        rng = np.random.default_rng(0)
+        x = random_transaction_placement(2, 2, rng)
+        y = solver2.optimize_y_greedy(x)
+        assert check_solution_feasible(tiny_coefficients, x, y)
+
+    def test_every_attribute_covered(self, solver2):
+        rng = np.random.default_rng(1)
+        x = random_transaction_placement(2, 2, rng)
+        y = solver2.optimize_y_greedy(x)
+        assert (y.sum(axis=1) >= 1).all()
+
+    def test_write_only_attribute_lands_at_writer_site(self):
+        """With pure cost (lambda=1), a write-only attribute's single
+        replica goes to the writing transaction's site: the
+        -p*alpha*delta rebate makes it the cheapest covering site.
+
+        (Note: the rebate can cancel but never overshoot the replica's
+        own write+transfer cost, so k >= 0 always — replication is
+        driven by co-location and covering, matching the paper's
+        Table 4 where write-only attributes float to one site.)
+        """
+        from repro.model.schema import SchemaBuilder
+        from repro.model.workload import Query, Transaction, Workload
+        from repro.model.instance import ProblemInstance
+
+        schema = SchemaBuilder("w").table("T", key=4, counter=8).build()
+        workload = Workload(
+            [
+                Transaction("Reader", (Query.read("r", ["T.key"]),)),
+                Transaction("Writer", (Query.write("w", ["T.counter"]),)),
+            ]
+        )
+        instance = ProblemInstance(schema, workload)
+        coefficients = build_coefficients(
+            instance, CostParameters(load_balance_lambda=1.0)
+        )
+        solver = SubproblemSolver(coefficients, 2)
+        x = np.zeros((2, 2), dtype=bool)
+        x[instance.transaction_index["Reader"], 0] = True
+        x[instance.transaction_index["Writer"], 1] = True
+        y = solver.optimize_y_greedy(x)
+        counter = instance.attribute_index["T.counter"]
+        assert y[counter, 1] and not y[counter, 0]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_greedy_matches_exact_pure_cost(self, seed):
+        """For lambda = 1 the greedy y-step is provably optimal: compare
+        against the exact MIP sub-solve."""
+        instance = small_random_instance(seed)
+        coefficients = build_coefficients(
+            instance, CostParameters(load_balance_lambda=1.0)
+        )
+        solver = SubproblemSolver(coefficients, 3)
+        evaluator = SolutionEvaluator(coefficients)
+        rng = np.random.default_rng(seed)
+        x = random_transaction_placement(coefficients.num_transactions, 3, rng)
+        greedy = solver.optimize_y_greedy(x)
+        exact = solver.optimize_y_exact(x)
+        assert evaluator.objective6(x, greedy) == pytest.approx(
+            evaluator.objective6(x, exact), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_greedy_close_to_exact_with_load_balance(self, seed):
+        instance = small_random_instance(seed)
+        coefficients = build_coefficients(instance, CostParameters())
+        solver = SubproblemSolver(coefficients, 2)
+        evaluator = SolutionEvaluator(coefficients)
+        rng = np.random.default_rng(seed + 10)
+        x = random_transaction_placement(coefficients.num_transactions, 2, rng)
+        greedy_cost = evaluator.objective6(x, solver.optimize_y_greedy(x))
+        exact_cost = evaluator.objective6(x, solver.optimize_y_exact(x))
+        assert greedy_cost >= exact_cost - 1e-9
+        assert greedy_cost <= exact_cost * 1.25  # within 25%
+
+
+class TestDisjointY:
+    def test_single_replica_everywhere(self, tiny_coefficients):
+        solver = SubproblemSolver(tiny_coefficients, 2)
+        x = np.zeros((2, 2), dtype=bool)
+        x[:, 0] = True  # co-located -> disjoint feasible
+        y = solver.optimize_y_greedy(x, disjoint=True)
+        assert (y.sum(axis=1) == 1).all()
+        assert check_solution_feasible(tiny_coefficients, x, y)
+
+    def test_conflicting_readers_rejected(self, tiny_coefficients):
+        solver = SubproblemSolver(tiny_coefficients, 2)
+        x = np.zeros((2, 2), dtype=bool)
+        x[0, 0] = x[1, 1] = True  # both read Narrow.key on different sites
+        with pytest.raises(SolverError, match="disjoint"):
+            solver.optimize_y_greedy(x, disjoint=True)
+
+
+class TestOptimizeX:
+    def test_respects_colocation(self, tiny_coefficients):
+        solver = SubproblemSolver(tiny_coefficients, 2)
+        y = np.zeros((5, 2), dtype=bool)
+        y[:, 0] = True  # everything on site 0 only
+        x = solver.optimize_x_greedy(y)
+        assert x[:, 0].all()  # no transaction can leave site 0
+
+    def test_allowed_sites_mask(self, tiny_coefficients):
+        solver = SubproblemSolver(tiny_coefficients, 2)
+        y = np.ones((5, 2), dtype=bool)
+        allowed = solver.allowed_sites(y)
+        assert allowed.all()
+        y[:, 1] = False
+        allowed = solver.allowed_sites(y)
+        assert allowed[:, 0].all() and not allowed[:, 1].any()
+
+    def test_repair_adds_missing_replicas(self, tiny_coefficients):
+        solver = SubproblemSolver(tiny_coefficients, 2)
+        x = np.zeros((2, 2), dtype=bool)
+        x[0, 0] = x[1, 1] = True
+        y = np.zeros((5, 2), dtype=bool)
+        y[:, 0] = True
+        repaired = solver.repair_y(x, y)
+        assert check_solution_feasible(tiny_coefficients, x, repaired)
+        # Repair only adds replicas, never removes.
+        assert (repaired | y).sum() == repaired.sum()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_x_not_worse_than_greedy(self, seed):
+        instance = small_random_instance(seed)
+        coefficients = build_coefficients(instance, CostParameters())
+        solver = SubproblemSolver(coefficients, 2)
+        evaluator = SolutionEvaluator(coefficients)
+        rng = np.random.default_rng(seed)
+        x0 = random_transaction_placement(coefficients.num_transactions, 2, rng)
+        y = solver.optimize_y_greedy(x0)
+        x_greedy = solver.optimize_x_greedy(y)
+        x_exact = solver.optimize_x_exact(y)
+        y_greedy = solver.repair_y(x_greedy, y)
+        y_exact = solver.repair_y(x_exact, y)
+        assert evaluator.objective6(x_exact, y_exact) <= (
+            evaluator.objective6(x_greedy, y_greedy) + 1e-6
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for the schema model."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.model.schema import Attribute, Schema, SchemaBuilder, Table
+
+
+class TestAttribute:
+    def test_qualified_name(self):
+        attribute = Attribute("Users", "name", 16)
+        assert attribute.qualified_name == "Users.name"
+        assert str(attribute) == "Users.name"
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(SchemaError, match="positive width"):
+            Attribute("Users", "name", 0)
+        with pytest.raises(SchemaError, match="positive width"):
+            Attribute("Users", "name", -4)
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(SchemaError):
+            Attribute("Users", "", 4)
+        with pytest.raises(SchemaError):
+            Attribute("", "name", 4)
+
+    def test_fractional_width_allowed(self):
+        assert Attribute("T", "avg", 2.5).width == 2.5
+
+
+class TestTable:
+    def test_row_width_sums_attribute_widths(self):
+        table = Table(
+            "T",
+            (Attribute("T", "a", 4), Attribute("T", "b", 8), Attribute("T", "c", 1)),
+        )
+        assert table.row_width == 13
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError, match="duplicate attribute"):
+            Table("T", (Attribute("T", "a", 4), Attribute("T", "a", 8)))
+
+    def test_rejects_foreign_attribute(self):
+        with pytest.raises(SchemaError, match="does not belong"):
+            Table("T", (Attribute("Other", "a", 4),))
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(SchemaError, match="at least one attribute"):
+            Table("T", ())
+
+    def test_attribute_lookup(self):
+        table = Table("T", (Attribute("T", "a", 4),))
+        assert table.attribute("a").width == 4
+        with pytest.raises(SchemaError, match="no attribute"):
+            table.attribute("missing")
+
+    def test_iteration_and_len(self):
+        table = Table("T", (Attribute("T", "a", 4), Attribute("T", "b", 8)))
+        assert len(table) == 2
+        assert [a.name for a in table] == ["a", "b"]
+
+
+class TestSchema:
+    def test_canonical_attribute_order_follows_tables(self):
+        schema = (
+            SchemaBuilder().table("A", x=1, y=2).table("B", z=3).build()
+        )
+        assert [a.qualified_name for a in schema.attributes] == [
+            "A.x", "A.y", "B.z",
+        ]
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(SchemaError, match="duplicate table"):
+            Schema(
+                [
+                    Table("T", (Attribute("T", "a", 4),)),
+                    Table("T", (Attribute("T", "b", 4),)),
+                ]
+            )
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(SchemaError, match="at least one table"):
+            Schema([])
+
+    def test_attribute_lookup_by_qualified_name(self):
+        schema = SchemaBuilder().table("T", a=4).build()
+        assert schema.attribute("T.a").width == 4
+        assert schema.has_attribute("T.a")
+        assert not schema.has_attribute("T.b")
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.attribute("T.b")
+
+    def test_table_lookup(self):
+        schema = SchemaBuilder().table("T", a=4).build()
+        assert schema.table("T").name == "T"
+        with pytest.raises(SchemaError, match="no table"):
+            schema.table("Missing")
+
+    def test_resolve_unqualified_unique(self):
+        schema = SchemaBuilder().table("A", x=1).table("B", y=2).build()
+        assert schema.resolve("x").qualified_name == "A.x"
+
+    def test_resolve_unqualified_ambiguous(self):
+        schema = SchemaBuilder().table("A", x=1).table("B", x=2).build()
+        with pytest.raises(SchemaError, match="ambiguous"):
+            schema.resolve("x")
+        # Restricting the table set disambiguates.
+        assert schema.resolve("x", tables=["B"]).qualified_name == "B.x"
+
+    def test_resolve_unknown(self):
+        schema = SchemaBuilder().table("A", x=1).build()
+        with pytest.raises(SchemaError, match="no table contains"):
+            schema.resolve("zz")
+
+    def test_total_width(self):
+        schema = SchemaBuilder().table("A", x=1, y=2).table("B", z=3).build()
+        assert schema.total_width == 6
+
+
+class TestSchemaBuilder:
+    def test_builds_in_order(self):
+        schema = SchemaBuilder("db").table("T1", a=4).table("T2", b=8).build()
+        assert schema.name == "db"
+        assert schema.table_names == ("T1", "T2")
+
+    def test_table_from_widths(self):
+        schema = (
+            SchemaBuilder().table_from_widths("T", {"a0": 4.0, "a1": 8.0}).build()
+        )
+        assert schema.table("T").row_width == 12
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder().table("T")

@@ -1,0 +1,73 @@
+"""JSON round-trip tests, including a hypothesis property."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InstanceError
+from repro.model.serialize import (
+    dump_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+)
+from tests.conftest import small_random_instance
+
+
+def _assert_instances_equal(a, b):
+    assert a.name == b.name
+    assert [t.name for t in a.schema.tables] == [t.name for t in b.schema.tables]
+    assert [x.qualified_name for x in a.attributes] == [
+        x.qualified_name for x in b.attributes
+    ]
+    assert [x.width for x in a.attributes] == [x.width for x in b.attributes]
+    for ta, tb in zip(a.workload, b.workload):
+        assert ta.name == tb.name
+        for qa, qb in zip(ta, tb):
+            assert qa.name == qb.name
+            assert qa.kind == qb.kind
+            assert qa.attributes == qb.attributes
+            assert dict(qa.rows) == dict(qb.rows)
+            assert qa.frequency == qb.frequency
+
+
+def test_round_trip_tiny(tiny_instance):
+    payload = instance_to_dict(tiny_instance)
+    rebuilt = instance_from_dict(payload)
+    _assert_instances_equal(tiny_instance, rebuilt)
+
+
+def test_payload_is_json_compatible(tiny_instance):
+    payload = instance_to_dict(tiny_instance)
+    rebuilt = instance_from_dict(json.loads(json.dumps(payload)))
+    _assert_instances_equal(tiny_instance, rebuilt)
+
+
+def test_file_round_trip(tiny_instance, tmp_path):
+    path = tmp_path / "instance.json"
+    dump_instance(tiny_instance, path)
+    rebuilt = load_instance(path)
+    _assert_instances_equal(tiny_instance, rebuilt)
+
+
+def test_rejects_unknown_version(tiny_instance):
+    payload = instance_to_dict(tiny_instance)
+    payload["format_version"] = 999
+    with pytest.raises(InstanceError, match="format version"):
+        instance_from_dict(payload)
+
+
+def test_rejects_malformed_payload():
+    with pytest.raises(InstanceError, match="malformed"):
+        instance_from_dict({"format_version": 1, "schema": {}})
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_round_trip_random_instances(seed):
+    instance = small_random_instance(seed)
+    rebuilt = instance_from_dict(
+        json.loads(json.dumps(instance_to_dict(instance)))
+    )
+    _assert_instances_equal(instance, rebuilt)

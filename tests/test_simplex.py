@@ -1,0 +1,147 @@
+"""The from-scratch simplex solver: textbook LPs and a differential
+property test against scipy/HiGHS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.model import MipModel
+from repro.solver.scipy_backend import solve_lp_scipy
+from repro.solver.simplex import solve_lp_simplex
+from repro.solver.solution import SolutionStatus
+
+
+def _solve_both(model):
+    arrays = model.to_standard_arrays()
+    return solve_lp_simplex(arrays), solve_lp_scipy(arrays)
+
+
+class TestTextbookCases:
+    def test_simple_maximisation(self):
+        # max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 (classic Dantzig).
+        model = MipModel()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        model.add_constraint(x <= 4)
+        model.add_constraint(2 * y <= 12)
+        model.add_constraint(3 * x + 2 * y <= 18)
+        model.minimize(-3 * x - 5 * y)
+        result = solve_lp_simplex(model.to_standard_arrays())
+        assert result.status is SolutionStatus.OPTIMAL
+        assert result.objective == pytest.approx(-36.0)
+        np.testing.assert_allclose(result.values, [2.0, 6.0], atol=1e-8)
+
+    def test_equality_constraints_need_phase1(self):
+        model = MipModel()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        model.add_constraint(x + y == 10)
+        model.add_constraint(x - y == 2)
+        model.minimize(x + 2 * y)
+        result = solve_lp_simplex(model.to_standard_arrays())
+        assert result.status is SolutionStatus.OPTIMAL
+        np.testing.assert_allclose(result.values, [6.0, 4.0], atol=1e-8)
+
+    def test_infeasible(self):
+        model = MipModel()
+        x = model.add_variable("x", upper=1)
+        model.add_constraint(x >= 3)
+        model.minimize(x)
+        result = solve_lp_simplex(model.to_standard_arrays())
+        assert result.status is SolutionStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        model = MipModel()
+        x = model.add_variable("x")
+        model.add_constraint(x >= 1)
+        model.minimize(-x)
+        result = solve_lp_simplex(model.to_standard_arrays())
+        assert result.status is SolutionStatus.UNBOUNDED
+
+    def test_nonzero_lower_bounds_shifted(self):
+        model = MipModel()
+        x = model.add_variable("x", lower=3, upper=10)
+        model.minimize(x)
+        result = solve_lp_simplex(model.to_standard_arrays())
+        assert result.objective == pytest.approx(3.0)
+
+    def test_negative_rhs_rows(self):
+        model = MipModel()
+        x = model.add_variable("x", upper=10)
+        model.add_constraint(-x <= -4)  # i.e. x >= 4
+        model.minimize(x)
+        result = solve_lp_simplex(model.to_standard_arrays())
+        assert result.objective == pytest.approx(4.0)
+
+    def test_degenerate_lp_terminates(self):
+        # Multiple redundant constraints through the optimum.
+        model = MipModel()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        model.add_constraint(x + y <= 1)
+        model.add_constraint(2 * x + 2 * y <= 2)
+        model.add_constraint(x <= 1)
+        model.minimize(-x - y)
+        result = solve_lp_simplex(model.to_standard_arrays())
+        assert result.status is SolutionStatus.OPTIMAL
+        assert result.objective == pytest.approx(-1.0)
+
+    def test_unconstrained_model(self):
+        model = MipModel()
+        x = model.add_variable("x", upper=2)
+        model.minimize(-x)
+        result = solve_lp_simplex(model.to_standard_arrays())
+        assert result.objective == pytest.approx(-2.0)
+
+    def test_bound_overrides(self):
+        model = MipModel()
+        x = model.add_variable("x", upper=10)
+        model.minimize(-x)
+        arrays = model.to_standard_arrays()
+        result = solve_lp_simplex(arrays, upper=np.array([4.0]))
+        assert result.objective == pytest.approx(-4.0)
+        result = solve_lp_simplex(
+            arrays, lower=np.array([6.0]), upper=np.array([4.0])
+        )
+        assert result.status is SolutionStatus.INFEASIBLE
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_matches_highs_on_random_lps(seed):
+    """Differential test: same status, same optimal value as HiGHS."""
+    rng = np.random.default_rng(seed)
+    model = MipModel(f"r{seed}")
+    n = int(rng.integers(2, 7))
+    variables = [
+        model.add_variable(
+            f"v{i}",
+            lower=float(rng.integers(0, 3)),
+            upper=float(rng.integers(3, 12)),
+        )
+        for i in range(n)
+    ]
+    for _ in range(int(rng.integers(1, 7))):
+        coefficients = rng.normal(size=n)
+        expr = sum(c * v for c, v in zip(coefficients, variables))
+        rhs = float(rng.normal() * 5)
+        kind = int(rng.integers(0, 3))
+        if kind == 0:
+            model.add_constraint(expr <= rhs)
+        elif kind == 1:
+            model.add_constraint(expr >= rhs)
+        else:
+            model.add_constraint(expr == rhs)
+    model.minimize(
+        sum(float(rng.normal()) * v for v in variables)
+    )
+    arrays = model.to_standard_arrays()
+    ours = solve_lp_simplex(arrays)
+    reference = solve_lp_scipy(arrays)
+    assert ours.status == reference.status
+    if ours.status is SolutionStatus.OPTIMAL:
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+        # Our solution must actually be feasible.
+        from repro.solver.branch_and_bound import solution_violations
+
+        assert solution_violations(arrays, ours.values) == 0.0

@@ -1,0 +1,171 @@
+"""The execution simulator and its exact-match property with the model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.config import CostParameters, WriteAccounting
+from repro.costmodel.evaluator import SolutionEvaluator
+from repro.exceptions import SimulationError
+from repro.model.schema import Attribute
+from repro.partition.assignment import PartitioningResult, single_site_partitioning
+from repro.simulator.engine import WorkloadSimulator
+from repro.simulator.network import Network
+from repro.simulator.storage import FractionStore, SiteStorage
+from tests.conftest import random_feasible_solution, small_random_instance
+
+
+class TestFractionStore:
+    def _fraction(self):
+        attributes = (
+            Attribute("T", "a", 4),
+            Attribute("T", "b", 8),
+        )
+        return FractionStore("T", attributes, capacity=16)
+
+    def test_row_width(self):
+        assert self._fraction().row_width == 12.0
+
+    def test_read_accounts_whole_rows(self):
+        fraction = self._fraction()
+        touched = fraction.read_rows(3)
+        assert touched == 36.0
+        assert fraction.bytes_read == 36.0
+        assert fraction.rows_read == 3
+
+    def test_write_accounts_whole_rows(self):
+        fraction = self._fraction()
+        assert fraction.write_rows(2) == 24.0
+        assert fraction.bytes_written == 24.0
+
+    def test_has_attribute(self):
+        fraction = self._fraction()
+        assert fraction.has_attribute("a")
+        assert not fraction.has_attribute("zz")
+
+    def test_empty_fraction_rejected(self):
+        with pytest.raises(SimulationError, match="empty fraction"):
+            FractionStore("T", ())
+
+    def test_site_storage_rejects_duplicates(self):
+        storage = SiteStorage(0)
+        storage.add_fraction(self._fraction())
+        with pytest.raises(SimulationError, match="already stores"):
+            storage.add_fraction(self._fraction())
+
+
+class TestNetwork:
+    def test_counts_directed_links(self):
+        network = Network(3)
+        network.transfer(0, 1, 100.0)
+        network.transfer(0, 1, 50.0)
+        network.transfer(2, 0, 10.0)
+        assert network.total_bytes == 160.0
+        assert network.link_bytes(0, 1) == 150.0
+        assert network.messages == 3
+        assert network.busiest_link() == ((0, 1), 150.0)
+
+    def test_self_transfer_rejected(self):
+        network = Network(2)
+        with pytest.raises(SimulationError, match="never transfers to itself"):
+            network.transfer(1, 1, 5.0)
+
+    def test_range_checked(self):
+        network = Network(2)
+        with pytest.raises(SimulationError, match="out of range"):
+            network.transfer(0, 5, 1.0)
+
+
+def _result_for(coefficients, x, y):
+    evaluator = SolutionEvaluator(coefficients)
+    return PartitioningResult(
+        coefficients=coefficients, x=x, y=y,
+        objective=evaluator.objective4(x, y), solver="test",
+    )
+
+
+class TestSimulatorModelIdentity:
+    """The headline property: simulated bytes == analytic cost model."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        num_sites=st.integers(min_value=1, max_value=3),
+        penalty=st.sampled_from([0.0, 8.0]),
+    )
+    def test_exact_match_on_random_solutions(self, seed, num_sites, penalty):
+        instance = small_random_instance(seed)
+        coefficients = build_coefficients(
+            instance, CostParameters(network_penalty=penalty)
+        )
+        x, y = random_feasible_solution(coefficients, num_sites, seed + 99)
+        result = _result_for(coefficients, x, y)
+        report = WorkloadSimulator(result).run()
+        breakdown = result.breakdown()
+        assert report.bytes_read == pytest.approx(breakdown.read_access)
+        assert report.bytes_written == pytest.approx(breakdown.write_access)
+        assert report.bytes_transferred == pytest.approx(breakdown.transfer)
+        assert report.objective() == pytest.approx(result.objective)
+
+    def test_single_site_no_network(self, tiny_coefficients):
+        result = single_site_partitioning(tiny_coefficients)
+        report = WorkloadSimulator(result).run()
+        assert report.bytes_transferred == 0.0
+        assert report.messages == 0
+        assert report.objective() == pytest.approx(result.objective)
+
+    def test_per_site_loads_match(self, tiny_coefficients):
+        x, y = random_feasible_solution(tiny_coefficients, 2, 7)
+        result = _result_for(tiny_coefficients, x, y)
+        report = WorkloadSimulator(result).run()
+        # Reads happen at the executing site only.
+        evaluator = SolutionEvaluator(tiny_coefficients)
+        loads = evaluator.site_loads(x, y)
+        per_site = np.array(report.per_site_read) + np.array(report.per_site_written)
+        np.testing.assert_allclose(per_site, loads)
+
+
+class TestRelevantAccounting:
+    def test_relevant_mode_never_exceeds_all_mode(self):
+        instance = small_random_instance(42)
+        coefficients = build_coefficients(instance, CostParameters())
+        x, y = random_feasible_solution(coefficients, 2, 3)
+        result = _result_for(coefficients, x, y)
+        all_report = WorkloadSimulator(
+            result, accounting=WriteAccounting.ALL_ATTRIBUTES
+        ).run()
+        relevant_report = WorkloadSimulator(
+            result, accounting=WriteAccounting.RELEVANT_ATTRIBUTES
+        ).run()
+        assert relevant_report.bytes_written <= all_report.bytes_written + 1e-9
+        # Reads and transfers are identical across modes.
+        assert relevant_report.bytes_read == pytest.approx(all_report.bytes_read)
+        assert relevant_report.bytes_transferred == pytest.approx(
+            all_report.bytes_transferred
+        )
+
+    def test_relevant_mode_matches_evaluator(self):
+        instance = small_random_instance(13)
+        parameters = CostParameters(
+            write_accounting=WriteAccounting.RELEVANT_ATTRIBUTES
+        )
+        coefficients = build_coefficients(instance, parameters)
+        x, y = random_feasible_solution(coefficients, 2, 4)
+        result = _result_for(coefficients, x, y)
+        report = WorkloadSimulator(
+            result, accounting=WriteAccounting.RELEVANT_ATTRIBUTES
+        ).run()
+        breakdown = result.breakdown()
+        assert report.bytes_written == pytest.approx(breakdown.write_access)
+
+    def test_no_attributes_mode_rejected(self, tiny_coefficients):
+        result = single_site_partitioning(tiny_coefficients)
+        with pytest.raises(SimulationError, match="NO_ATTRIBUTES"):
+            WorkloadSimulator(result, accounting=WriteAccounting.NO_ATTRIBUTES)
+
+
+def test_queries_executed_counted(tiny_coefficients):
+    result = single_site_partitioning(tiny_coefficients)
+    report = WorkloadSimulator(result).run()
+    assert report.queries_executed == 4

@@ -1,0 +1,247 @@
+"""The mini-SQL lexer, parser and workload loader."""
+
+import pytest
+
+from repro.exceptions import ParseError, SchemaError
+from repro.sqlio.ast_nodes import CreateTable, Delete, Insert, Select, Update
+from repro.sqlio.lexer import TokenKind, tokenize
+from repro.sqlio.parser import parse_statements
+from repro.sqlio.workload_loader import (
+    load_instance_from_sql,
+    parse_schema_sql,
+    parse_workload_sql,
+    type_width,
+)
+
+SCHEMA_SQL = """
+CREATE TABLE warehouse (
+    w_id INT,
+    w_name VARCHAR(10),
+    w_tax DECIMAL(4,4),
+    w_ytd DECIMAL(12,2)
+);
+CREATE TABLE customer (c_id INT, c_w_id INT, c_last VARCHAR(16),
+                       c_balance DECIMAL(12,2), c_data VARCHAR(500));
+"""
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.is_keyword("select") for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Foo_Bar")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].value == "Foo_Bar"
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("12 3.5 'text'")
+        assert tokens[0].value == "12"
+        assert tokens[1].value == "3.5"
+        assert tokens[2].kind is TokenKind.STRING
+
+    def test_comments_stripped_by_default(self):
+        tokens = tokenize("SELECT -- hidden\n x")
+        assert all(t.kind is not TokenKind.COMMENT for t in tokens)
+
+    def test_comments_kept_on_request(self):
+        tokens = tokenize("-- note\nSELECT x", keep_comments=True)
+        assert tokens[0].kind is TokenKind.COMMENT
+        assert tokens[0].value == "note"
+
+    def test_block_comments(self):
+        tokens = tokenize("SELECT /* gone */ x")
+        assert [t.value for t in tokens[:-1]] == ["select", "x"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b <> c")
+        values = [t.value for t in tokens if t.kind is TokenKind.PUNCT]
+        assert values == ["<=", "<>"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_error_reports_location(self):
+        with pytest.raises(ParseError, match="line 2"):
+            tokenize("SELECT x\n  @")
+
+
+class TestParser:
+    def test_create_table(self):
+        statements = parse_statements(SCHEMA_SQL)
+        assert len(statements) == 2
+        create = statements[0]
+        assert isinstance(create, CreateTable)
+        assert create.name == "warehouse"
+        assert [c.name for c in create.columns] == [
+            "w_id", "w_name", "w_tax", "w_ytd",
+        ]
+        assert create.columns[1].type_args == (10,)
+
+    def test_select_with_where_and_order(self):
+        statement = parse_statements(
+            "SELECT a, t.b FROM t WHERE c = ? AND d > 3 ORDER BY e DESC;"
+        )[0]
+        assert isinstance(statement, Select)
+        assert statement.tables == ("t",)
+        assert [str(c) for c in statement.columns] == ["a", "t.b"]
+        assert {c.name for c in statement.where_columns} == {"c", "d"}
+        assert {c.name for c in statement.extra_columns} == {"e"}
+
+    def test_select_star(self):
+        statement = parse_statements("SELECT * FROM t;")[0]
+        assert statement.star
+
+    def test_select_join_with_on(self):
+        statement = parse_statements(
+            "SELECT a FROM t JOIN u ON t.k = u.k WHERE u.v = 1;"
+        )[0]
+        assert statement.tables == ("t", "u")
+        assert {str(c) for c in statement.extra_columns} == {"t.k", "u.k"}
+
+    def test_select_aggregate(self):
+        statement = parse_statements(
+            "SELECT COUNT(DISTINCT s_i_id) FROM stock WHERE s_w_id = ?;"
+        )[0]
+        assert {c.name for c in statement.columns} == {"s_i_id"}
+
+    def test_table_alias(self):
+        statement = parse_statements("SELECT c.x FROM cust c WHERE c.y = 1;")[0]
+        assert statement.aliases["c"] == "cust"
+
+    def test_update(self):
+        statement = parse_statements(
+            "UPDATE t SET a = a + 1, b = c WHERE k = ?;"
+        )[0]
+        assert isinstance(statement, Update)
+        assert [a.column.name for a in statement.assignments] == ["a", "b"]
+        assert [c.name for c in statement.assignments[0].rhs_columns] == ["a"]
+        assert [c.name for c in statement.assignments[1].rhs_columns] == ["c"]
+        assert [c.name for c in statement.where_columns] == ["k"]
+
+    def test_insert_with_columns(self):
+        statement = parse_statements(
+            "INSERT INTO t (a, b) VALUES (?, ?);"
+        )[0]
+        assert isinstance(statement, Insert)
+        assert statement.columns == ("a", "b")
+
+    def test_insert_all_columns(self):
+        statement = parse_statements("INSERT INTO t VALUES (1, 2, 3);")[0]
+        assert statement.columns == ()
+
+    def test_delete(self):
+        statement = parse_statements("DELETE FROM t WHERE id = 4;")[0]
+        assert isinstance(statement, Delete)
+        assert [c.name for c in statement.where_columns] == ["id"]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError, match="statement start"):
+            parse_statements("DROP TABLE t;")
+
+
+class TestTypeWidths:
+    @pytest.mark.parametrize(
+        "name,args,width",
+        [
+            ("int", (), 4.0),
+            ("bigint", (), 8.0),
+            ("varchar", (24,), 24.0),
+            ("char", (), 30.0),
+            ("decimal", (12, 2), 7.0),
+            ("decimal", (), 8.0),
+            ("timestamp", (), 8.0),
+            ("text", (), 100.0),
+        ],
+    )
+    def test_widths(self, name, args, width):
+        assert type_width(name, args) == width
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError, match="unknown SQL type"):
+            type_width("geometry", ())
+
+
+class TestSchemaLoader:
+    def test_builds_schema_with_widths(self):
+        schema = parse_schema_sql(SCHEMA_SQL)
+        assert schema.table("warehouse").attribute("w_name").width == 10.0
+        assert schema.table("customer").attribute("c_data").width == 500.0
+
+    def test_rejects_dml_in_schema(self):
+        with pytest.raises(ParseError, match="CREATE TABLE"):
+            parse_schema_sql("SELECT a FROM t;")
+
+
+WORKLOAD_SQL = """
+-- transaction Payment
+-- name updateWarehouse freq 2
+UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?;
+-- name findCustomer rows 10
+SELECT c_id, c_last FROM customer WHERE c_w_id = ? ORDER BY c_last;
+
+-- transaction Audit
+-- name fullScan rows customer=25
+SELECT * FROM customer;
+-- name purge
+DELETE FROM customer WHERE c_id = ?;
+"""
+
+
+class TestWorkloadLoader:
+    @pytest.fixture
+    def schema(self):
+        return parse_schema_sql(SCHEMA_SQL)
+
+    def test_transactions_split_by_annotation(self, schema):
+        workload = parse_workload_sql(WORKLOAD_SQL, schema)
+        assert [t.name for t in workload] == ["Payment", "Audit"]
+
+    def test_update_split_follows_convention(self, schema):
+        workload = parse_workload_sql(WORKLOAD_SQL, schema)
+        payment = workload.transaction("Payment")
+        read = next(q for q in payment if q.name.endswith("updateWarehouse:read"))
+        write = next(q for q in payment if q.name.endswith("updateWarehouse:write"))
+        # Self-reference w_ytd = w_ytd + ? does not force a read.
+        assert read.attributes == {"warehouse.w_id"}
+        assert write.attributes == {"warehouse.w_ytd"}
+        assert read.frequency == 2.0
+
+    def test_rows_annotations(self, schema):
+        workload = parse_workload_sql(WORKLOAD_SQL, schema)
+        find = next(
+            q for q in workload.queries if q.name.endswith("findCustomer")
+        )
+        assert find.rows_for("customer") == 10.0
+        scan = next(q for q in workload.queries if q.name.endswith("fullScan"))
+        assert scan.rows_for("customer") == 25.0
+
+    def test_star_expands_all_columns(self, schema):
+        workload = parse_workload_sql(WORKLOAD_SQL, schema)
+        scan = next(q for q in workload.queries if q.name.endswith("fullScan"))
+        assert len(scan.attributes) == 5
+
+    def test_delete_reads_keys_writes_row(self, schema):
+        workload = parse_workload_sql(WORKLOAD_SQL, schema)
+        read = next(q for q in workload.queries if q.name.endswith("purge:read"))
+        write = next(q for q in workload.queries if q.name.endswith("purge:write"))
+        assert read.attributes == {"customer.c_id"}
+        assert len(write.attributes) == 5
+
+    def test_rows_for_unused_table_rejected(self, schema):
+        bad = "-- transaction T\n-- rows warehouse=5\nSELECT c_id FROM customer;"
+        with pytest.raises(ParseError, match="not used"):
+            parse_workload_sql(bad, schema)
+
+    def test_empty_workload_rejected(self, schema):
+        with pytest.raises(ParseError, match="no statements"):
+            parse_workload_sql("-- transaction T", schema)
+
+    def test_full_instance_solvable(self):
+        from repro.sa.solver import solve_sa
+
+        instance = load_instance_from_sql(SCHEMA_SQL, WORKLOAD_SQL, name="sql")
+        result = solve_sa(instance, 2, seed=0)
+        assert result.objective > 0

@@ -1,0 +1,35 @@
+"""Instance descriptive statistics."""
+
+import pytest
+
+from repro.instances.tpcc import tpcc_instance
+from repro.model.statistics import describe_instance
+
+
+def test_tiny_instance_counts(tiny_instance):
+    stats = describe_instance(tiny_instance)
+    assert stats.num_tables == 2
+    assert stats.num_attributes == 5
+    assert stats.num_transactions == 2
+    assert stats.num_queries == 4
+    assert stats.num_read_queries == 3
+    assert stats.num_write_queries == 1
+    assert stats.update_fraction == pytest.approx(0.25)
+    assert stats.total_row_width == pytest.approx(316.0)
+    assert stats.mean_attributes_per_table == pytest.approx(2.5)
+    assert stats.mean_queries_per_transaction == pytest.approx(2.0)
+
+
+def test_as_dict_keys(tiny_instance):
+    payload = describe_instance(tiny_instance).as_dict()
+    for key in ("name", "tables", "|A|", "|T|", "queries", "update %"):
+        assert key in payload
+    assert payload["update %"] == 25.0
+
+
+def test_tpcc_statistics():
+    stats = describe_instance(tpcc_instance())
+    assert stats.num_attributes == 92
+    assert stats.num_tables == 9
+    # The Section-5.2 UPDATE splitting yields a substantial write share.
+    assert 0.2 < stats.update_fraction < 0.5

@@ -1,0 +1,128 @@
+"""Workload statistics estimation from traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.stats.estimator import (
+    QueryEvent,
+    TraceCollector,
+    estimate_statistics,
+    reestimate_instance,
+)
+
+
+class TestTraceCollector:
+    def test_counts_executions(self):
+        collector = TraceCollector()
+        collector.record("q1")
+        collector.record("q1")
+        collector.record("q2")
+        stats = collector.aggregate()
+        assert stats["q1"].executions == 2
+        assert stats["q2"].executions == 1
+        assert collector.total_events == 3
+
+    def test_mean_rows(self):
+        collector = TraceCollector()
+        collector.record("q", {"T": 2})
+        collector.record("q", {"T": 6})
+        collector.record("q", {"U": 10})
+        stats = collector.aggregate()["q"]
+        assert stats.mean_rows["T"] == 4.0
+        assert stats.mean_rows["U"] == 10.0
+
+    def test_frequency_scale(self):
+        collector = TraceCollector()
+        for _ in range(30):
+            collector.record("q")
+        stats = collector.aggregate(frequency_scale=10.0)["q"]
+        assert stats.frequency == pytest.approx(3.0)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(WorkloadError, match="negative"):
+            QueryEvent("q", {"T": -1})
+
+    def test_estimate_statistics_one_shot(self):
+        events = [QueryEvent("a", {"T": 1}), QueryEvent("a", {"T": 3})]
+        stats = estimate_statistics(events)
+        assert stats["a"].mean_rows["T"] == 2.0
+
+
+class TestReestimateInstance:
+    def test_updates_frequency_and_rows(self, tiny_instance):
+        events = []
+        for _ in range(7):
+            events.append(QueryEvent("Reader.getNarrow", {"Narrow": 4}))
+        for _ in range(3):
+            events.append(QueryEvent("Writer.update", {"Wide": 5}))
+        traced = reestimate_instance(tiny_instance, events)
+        get_narrow = next(
+            q for q in traced.queries if q.name == "Reader.getNarrow"
+        )
+        update = next(q for q in traced.queries if q.name == "Writer.update")
+        assert get_narrow.frequency == 7.0
+        assert get_narrow.rows_for("Narrow") == 4.0
+        assert update.frequency == 3.0
+        assert update.rows_for("Wide") == 5.0
+
+    def test_missing_queries_keep_old_statistics(self, tiny_instance):
+        events = [QueryEvent("Reader.getNarrow", {"Narrow": 2})]
+        traced = reestimate_instance(tiny_instance, events)
+        untouched = next(
+            q for q in traced.queries if q.name == "Reader.getWide"
+        )
+        original = next(
+            q for q in tiny_instance.queries if q.name == "Reader.getWide"
+        )
+        assert untouched.frequency == original.frequency
+
+    def test_missing_queries_dropped_when_requested(self, tiny_instance):
+        events = [
+            QueryEvent("Reader.getNarrow"),
+            QueryEvent("Reader.getWide"),
+        ]
+        traced = reestimate_instance(tiny_instance, events, keep_missing=False)
+        names = {q.name for q in traced.queries}
+        assert names == {"Reader.getNarrow", "Reader.getWide"}
+        # The Writer transaction lost all queries and was dropped.
+        assert traced.num_transactions == 1
+
+    def test_unknown_template_rejected(self, tiny_instance):
+        with pytest.raises(WorkloadError, match="unknown query template"):
+            reestimate_instance(tiny_instance, [QueryEvent("nope")])
+
+    def test_foreign_table_rejected(self, tiny_instance):
+        events = [QueryEvent("Reader.getNarrow", {"Wide": 2})]
+        with pytest.raises(WorkloadError, match="does not touch"):
+            reestimate_instance(tiny_instance, events)
+
+    def test_traced_instance_is_solvable(self, tiny_instance):
+        from repro.sa.solver import solve_sa
+
+        events = [
+            QueryEvent("Reader.getNarrow", {"Narrow": 2}),
+            QueryEvent("Writer.update", {"Wide": 8}),
+        ]
+        traced = reestimate_instance(tiny_instance, events)
+        result = solve_sa(traced, 2, seed=0)
+        assert result.objective > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        counts=st.lists(
+            st.integers(min_value=1, max_value=20), min_size=1, max_size=5
+        )
+    )
+    def test_frequencies_proportional_to_counts(self, counts):
+        from tests.conftest import small_random_instance
+
+        tiny_instance = small_random_instance(0)
+        events = []
+        names = [q.name for q in tiny_instance.queries]
+        for name, count in zip(names, counts):
+            events.extend(QueryEvent(name) for _ in range(count))
+        traced = reestimate_instance(tiny_instance, events)
+        for name, count in zip(names, counts):
+            query = next(q for q in traced.queries if q.name == name)
+            assert query.frequency == pytest.approx(float(count))

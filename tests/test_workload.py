@@ -1,0 +1,163 @@
+"""Unit tests for queries, transactions and workloads."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.model.schema import SchemaBuilder
+from repro.model.workload import Query, QueryKind, Transaction, Workload, split_update
+
+
+class TestQuery:
+    def test_read_constructor(self):
+        query = Query.read("q", ["T.a", "T.b"], rows=3.0, frequency=2.0)
+        assert not query.is_write
+        assert query.tables == {"T"}
+        assert query.rows_for("T") == 3.0
+        assert query.frequency == 2.0
+
+    def test_write_constructor(self):
+        query = Query.write("q", ["T.a"])
+        assert query.is_write
+
+    def test_rows_default_to_one(self):
+        query = Query.read("q", ["T.a"])
+        assert query.rows_for("T") == 1.0
+
+    def test_rows_mapping(self):
+        query = Query.read("q", ["T.a", "U.b"], rows={"T": 5.0})
+        assert query.rows_for("T") == 5.0
+        assert query.rows_for("U") == 1.0
+
+    def test_tables_derived_from_attributes(self):
+        query = Query.read("q", ["T.a", "U.b", "U.c"])
+        assert query.tables == {"T", "U"}
+
+    def test_extra_tables_extend_beta(self):
+        query = Query(
+            name="q",
+            kind=QueryKind.READ,
+            attributes=frozenset(["T.a"]),
+            extra_tables=frozenset(["U"]),
+        )
+        assert query.tables == {"T", "U"}
+
+    def test_rejects_unqualified_attribute(self):
+        with pytest.raises(WorkloadError, match="qualified"):
+            Query.read("q", ["a"])
+
+    def test_rejects_empty_access(self):
+        with pytest.raises(WorkloadError, match="accesses no attributes"):
+            Query.read("q", [])
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(WorkloadError, match="positive frequency"):
+            Query.read("q", ["T.a"], frequency=0)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(WorkloadError, match="positive"):
+            Query.read("q", ["T.a"], rows={"T": 0.0})
+
+
+class TestSplitUpdate:
+    def test_produces_read_and_write(self):
+        read, write = split_update(
+            "upd", read_attributes=["T.key"], written_attributes=["T.val"]
+        )
+        assert not read.is_write and write.is_write
+        assert read.attributes == {"T.key"}
+        assert write.attributes == {"T.val"}
+        assert read.name == "upd:read"
+        assert write.name == "upd:write"
+
+    def test_written_attributes_do_not_force_reads(self):
+        """Table-4 fidelity: self-increments must not enter the read set."""
+        read, _ = split_update(
+            "upd", read_attributes=["T.key"], written_attributes=["T.counter"]
+        )
+        assert "T.counter" not in read.attributes
+
+    def test_pure_self_update_is_write_only(self):
+        queries = split_update("upd", read_attributes=[], written_attributes=["T.c"])
+        assert len(queries) == 1
+        assert queries[0].is_write
+
+    def test_rejects_writing_nothing(self):
+        with pytest.raises(WorkloadError, match="writes no attributes"):
+            split_update("upd", read_attributes=["T.a"], written_attributes=[])
+
+    def test_rows_and_frequency_propagate(self):
+        read, write = split_update(
+            "upd", ["T.key"], ["T.val"], rows=10.0, frequency=3.0
+        )
+        assert read.rows_for("T") == 10.0
+        assert write.rows_for("T") == 10.0
+        assert read.frequency == write.frequency == 3.0
+
+
+class TestTransaction:
+    def test_read_attributes_union_of_read_queries(self):
+        transaction = Transaction(
+            "t",
+            (
+                Query.read("r", ["T.a", "T.b"]),
+                Query.write("w", ["T.c"]),
+            ),
+        )
+        assert transaction.read_attributes == {"T.a", "T.b"}
+        assert transaction.written_attributes == {"T.c"}
+        assert transaction.tables == {"T"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError, match="no queries"):
+            Transaction("t", ())
+
+
+class TestWorkload:
+    def test_queries_in_canonical_order(self):
+        workload = Workload(
+            [
+                Transaction("t1", (Query.read("a", ["T.x"]),)),
+                Transaction("t2", (Query.read("b", ["T.x"]),)),
+            ]
+        )
+        assert [q.name for q in workload.queries] == ["a", "b"]
+
+    def test_rejects_duplicate_transaction_names(self):
+        transaction = Transaction("t", (Query.read("a", ["T.x"]),))
+        other = Transaction("t", (Query.read("b", ["T.x"]),))
+        with pytest.raises(WorkloadError, match="duplicate transaction"):
+            Workload([transaction, other])
+
+    def test_rejects_shared_query_names(self):
+        with pytest.raises(WorkloadError, match="must be unique"):
+            Workload(
+                [
+                    Transaction("t1", (Query.read("q", ["T.x"]),)),
+                    Transaction("t2", (Query.read("q", ["T.x"]),)),
+                ]
+            )
+
+    def test_transaction_of(self):
+        workload = Workload([Transaction("t1", (Query.read("q", ["T.x"]),))])
+        assert workload.transaction_of("q").name == "t1"
+        with pytest.raises(WorkloadError, match="no query"):
+            workload.transaction_of("zz")
+
+    def test_validate_against_schema(self):
+        schema = SchemaBuilder().table("T", x=4).build()
+        good = Workload([Transaction("t", (Query.read("q", ["T.x"]),))])
+        good.validate_against(schema)  # no raise
+        bad = Workload([Transaction("t", (Query.read("q", ["T.y"]),))])
+        with pytest.raises(WorkloadError, match="unknown attribute"):
+            bad.validate_against(schema)
+
+    def test_validate_rejects_unknown_rows_table(self):
+        schema = SchemaBuilder().table("T", x=4).build()
+        query = Query("q", QueryKind.READ, frozenset(["T.x"]), rows={"U": 2.0})
+        workload = Workload([Transaction("t", (query,))])
+        with pytest.raises(WorkloadError, match="unknown\\s+table"):
+            workload.validate_against(schema)
+
+    def test_rejects_empty_workload(self):
+        with pytest.raises(WorkloadError, match="at least one transaction"):
+            Workload([])
