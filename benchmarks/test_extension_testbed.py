@@ -16,15 +16,12 @@ gains need many attributes per table AND few attribute references per
 query.
 """
 
-import pytest
-
 from repro.bench.formatting import BenchTable, render_table
 from repro.costmodel.coefficients import build_coefficients
 from repro.costmodel.config import CostParameters
 from repro.instances.library import named_instance
 from repro.partition.assignment import single_site_partitioning
 from repro.qp.solver import QpPartitioner
-from repro.sa.options import SaOptions
 from repro.sa.solver import SaPartitioner
 
 TESTBED = ("tpcc", "tatp", "smallbank", "voter")

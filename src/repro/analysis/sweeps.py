@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.costmodel.coefficients import build_coefficients
 from repro.costmodel.config import CostParameters

@@ -27,7 +27,6 @@ from repro.costmodel.coefficients import build_coefficients
 from repro.costmodel.config import CostParameters, WriteAccounting
 from repro.costmodel.evaluator import SolutionEvaluator
 from repro.instances.library import named_instance
-from repro.instances.tpcc import tpcc_instance
 from repro.partition.assignment import single_site_partitioning
 from repro.qp.solver import QpPartitioner
 from repro.reduction.cuts import group_instance

@@ -10,7 +10,6 @@ as reference columns and, where meaningful, relative quantities
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.formatting import BenchTable

@@ -11,7 +11,16 @@ load-balance weight ``lambda``), this package derives:
 * evaluation of any candidate solution ``(x, y)``: objective (4), the
   blended objective (6), the cost breakdown ``A = AR + AW`` and ``B``,
   per-site loads and the Appendix-A latency estimate
-  (:mod:`repro.costmodel.evaluator`).
+  (:mod:`repro.costmodel.evaluator`),
+* incremental evaluation for local search: mutable per-solution state
+  (``c1 @ x`` / ``c3 @ x`` products, per-site loads, transfer totals)
+  with delta updates per moved transaction / toggled replica, used by
+  the simulated annealer's hot loop
+  (:mod:`repro.costmodel.incremental`).
+
+The dense evaluator remains the single source of truth; the incremental
+evaluator is property-tested against it across all write-accounting
+modes, replication on/off and ``lambda < 1``.
 """
 
 from repro.costmodel.config import CostParameters, WriteAccounting
@@ -23,6 +32,7 @@ from repro.costmodel.evaluator import (
     check_solution_feasible,
     feasibility_violations,
 )
+from repro.costmodel.incremental import IncrementalEvaluator
 
 __all__ = [
     "CostParameters",
@@ -32,6 +42,7 @@ __all__ = [
     "CostCoefficients",
     "build_coefficients",
     "CostBreakdown",
+    "IncrementalEvaluator",
     "SolutionEvaluator",
     "check_solution_feasible",
     "feasibility_violations",

@@ -82,6 +82,60 @@ class CostCoefficients:
         indicators = self.indicators
         return self.weights * indicators.alpha * indicators.delta
 
+    # ------------------------------------------------------------------
+    # Cached query / table-group structures (shared by the vectorised
+    # dense evaluator and the incremental evaluator)
+    # ------------------------------------------------------------------
+    @cached_property
+    def query_frequencies(self) -> np.ndarray:
+        """``f_q`` per query, in canonical query order (|Q|,)."""
+        return np.asarray([query.frequency for query in self.instance.queries])
+
+    @cached_property
+    def query_owner(self) -> np.ndarray:
+        """Owning transaction index per query (|Q|,)."""
+        return np.asarray(self.instance.query_transaction, dtype=np.intp)
+
+    @cached_property
+    def write_queries(self) -> np.ndarray:
+        """Canonical indices of the write queries (``delta > 0``)."""
+        return np.flatnonzero(self.indicators.delta > 0)
+
+    @cached_property
+    def write_updates(self) -> np.ndarray:
+        """``alpha`` restricted to write queries: (|A|, |Qw|) float 0/1.
+
+        Column ``j`` flags the attributes *updated* by the ``j``-th
+        write query (order of :attr:`write_queries`).
+        """
+        return np.ascontiguousarray(self.indicators.alpha[:, self.write_queries])
+
+    @cached_property
+    def write_weights(self) -> np.ndarray:
+        """``W`` restricted to write queries: (|A|, |Qw|) bytes."""
+        return np.ascontiguousarray(self.weights[:, self.write_queries])
+
+    @cached_property
+    def attribute_group(self) -> np.ndarray:
+        """Table-group index per attribute (|A|,): attributes of one
+        table share a group. Groups are numbered in schema table order."""
+        instance = self.instance
+        group = np.empty(self.num_attributes, dtype=np.intp)
+        for g_index, (_, members) in enumerate(instance.table_attributes.items()):
+            for a_index in members:
+                group[a_index] = g_index
+        return group
+
+    @cached_property
+    def group_onehot(self) -> np.ndarray:
+        """One-hot table-group matrix (|G|, |A|): ``G[g, a] = 1`` iff
+        attribute ``a`` belongs to table group ``g``."""
+        group = self.attribute_group
+        num_groups = int(group.max()) + 1 if group.size else 0
+        onehot = np.zeros((num_groups, self.num_attributes))
+        onehot[group, np.arange(self.num_attributes)] = 1.0
+        return onehot
+
     def single_site_cost(self) -> float:
         """Objective (4) of the trivial |S| = 1 solution.
 

@@ -137,49 +137,57 @@ class SolutionEvaluator:
 
         ``psi_q = 1`` iff write query ``q`` has at least one replica of
         an updated attribute on a site other than its transaction's.
+        Raises :class:`InstanceError` when a transaction is placed on no
+        site (its "home site" would be undefined).
         """
         x, y = self._check_shapes(x, y)
         coeff = self.coefficients
-        indicators = coeff.indicators
         penalty = coeff.parameters.latency_penalty
         if penalty == 0.0:
             return 0.0
-        owner = np.asarray(coeff.instance.query_transaction)
+        placed = x.sum(axis=1)
+        if np.any(placed < 1.0):
+            bad = int(np.flatnonzero(placed < 1.0)[0])
+            raise InstanceError(
+                f"transaction {coeff.instance.transactions[bad].name!r} is on "
+                f"no site; home sites are undefined for the latency estimate"
+            )
+        write_queries = coeff.write_queries
+        if write_queries.size == 0:
+            return 0.0
         home_sites = x.argmax(axis=1)  # (|T|,)
-        frequencies = np.asarray([query.frequency for query in coeff.instance.queries])
-        total = 0.0
+        query_home = home_sites[coeff.query_owner[write_queries]]  # (|Qw|,)
         replica_counts = y.sum(axis=1)  # (|A|,)
-        for q_index in np.flatnonzero(indicators.delta > 0):
-            home = home_sites[owner[q_index]]
-            updated = indicators.alpha[:, q_index] > 0
-            remote = replica_counts[updated] - y[updated, home]
-            if remote.sum() > 0:
-                total += frequencies[q_index]
-        return penalty * total
+        remote = replica_counts[:, None] - y[:, query_home]  # (|A|, |Qw|)
+        has_remote = (coeff.write_updates * remote).sum(axis=0) > 0
+        frequencies = coeff.query_frequencies[write_queries]
+        return penalty * float(frequencies[has_remote].sum())
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _relevant_write_access(self, x: np.ndarray, y: np.ndarray) -> float:
         """Section 2.1's exact accounting: a fraction is written only if
-        the write query updates an attribute co-located with it."""
+        the write query updates an attribute co-located with it.
+
+        Vectorised over the cached table groups: per (table group g,
+        write query q, site s) compute the count of updated attributes
+        of g present on s and the byte sum of g's present fractions; a
+        group contributes its bytes wherever the count is positive.
+        """
         coeff = self.coefficients
-        indicators = coeff.indicators
-        instance = coeff.instance
-        total = 0.0
-        for q_index in np.flatnonzero(indicators.delta > 0):
-            updated = indicators.alpha[:, q_index] > 0
-            for s_index in range(y.shape[1]):
-                on_site = y[:, s_index] > 0
-                hit_attrs = np.flatnonzero(updated & on_site)
-                if hit_attrs.size == 0:
-                    continue
-                hit_tables = {instance.attributes[a].table for a in hit_attrs}
-                for table in hit_tables:
-                    members = np.asarray(instance.table_attributes[table])
-                    local = members[on_site[members]]
-                    total += float(coeff.weights[local, q_index].sum())
-        return total
+        if coeff.write_queries.size == 0:
+            return 0.0
+        onehot = coeff.group_onehot  # (|G|, |A|)
+        updates = coeff.write_updates  # (|A|, |Qw|)
+        wbytes = coeff.write_weights  # (|A|, |Qw|)
+        present = y > 0  # (|A|, |S|)
+        # (|A|, |Qw|, |S|) -> grouped (|G|, |Qw|, |S|)
+        hit = np.tensordot(onehot, updates[:, :, None] * present[:, None, :], axes=(1, 0))
+        byte_sums = np.tensordot(
+            onehot, wbytes[:, :, None] * present[:, None, :], axes=(1, 0)
+        )
+        return float(byte_sums[hit > 0].sum())
 
     def _check_shapes(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         x = np.asarray(x, dtype=float)

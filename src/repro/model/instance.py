@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from functools import cached_property
 
-from repro.exceptions import InstanceError
 from repro.model.schema import Attribute, Schema
 from repro.model.workload import Query, Transaction, Workload
 

@@ -7,7 +7,7 @@ these qualified attributes (the paper's set ``A``) over sites.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from repro.exceptions import SchemaError

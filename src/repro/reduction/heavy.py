@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from repro.costmodel.coefficients import CostCoefficients, build_coefficients
+from repro.costmodel.coefficients import build_coefficients
 from repro.costmodel.config import CostParameters
 from repro.costmodel.evaluator import SolutionEvaluator
 from repro.model.instance import ProblemInstance

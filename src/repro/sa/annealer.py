@@ -1,15 +1,25 @@
-"""Algorithm 1: the simulated-annealing loop."""
+"""Algorithm 1: the simulated-annealing loop.
+
+The inner loop evaluates one candidate per iteration.  By default the
+cost of the incumbent is kept as mutable state in an
+:class:`~repro.costmodel.incremental.IncrementalEvaluator`: a candidate
+is probed inside a ``begin_trial`` / ``commit``-or-``rollback`` bracket,
+so its objective (6) and the greedy sub-problem inputs are produced from
+delta updates instead of dense ``(|A|, |T|, |S|)`` products.
+``SaOptions(incremental=False)`` forces the dense evaluator everywhere.
+"""
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.costmodel.coefficients import CostCoefficients
 from repro.costmodel.evaluator import SolutionEvaluator
+from repro.costmodel.incremental import IncrementalEvaluator
 from repro.sa.neighborhood import (
     extend_replication,
     merge_sites,
@@ -37,11 +47,8 @@ class AnnealingTrace:
     accepted: int = 0
     accepted_worse: int = 0
     outer_loops: int = 0
-    best_history: list[float] = None  # best objective6 after each outer loop
-
-    def __post_init__(self) -> None:
-        if self.best_history is None:
-            self.best_history = []
+    #: best objective6 after each outer loop
+    best_history: list[float] = field(default_factory=list)
 
 
 class SimulatedAnnealer:
@@ -49,7 +56,10 @@ class SimulatedAnnealer:
 
     The annealer minimises the blended objective (6); the best visited
     solution (by objective (6)) is returned together with its objective
-    (4) value, matching the paper's reporting convention.
+    (4) value, matching the paper's reporting convention.  Every exit
+    path — freeze, patience, loop cap and wall-clock timeout — is
+    guarded by the collapsed one-site layout, so the returned solution
+    is never worse than the trivial ``|S| = 1`` placement.
     """
 
     def __init__(
@@ -79,8 +89,12 @@ class SimulatedAnnealer:
         x = random_transaction_placement(
             self.coefficients.num_transactions, self.num_sites, rng
         )
-        y = self._find_solution("x", x, np.zeros_like(x[:0]))  # y from x
-        current_cost = self.evaluator.objective6(x, y)
+        y = self._optimize_y(x)
+        incremental = self._make_incremental(x, y)
+        if incremental is not None:
+            current_cost = incremental.objective6()
+        else:
+            current_cost = self.evaluator.objective6(x, y)
         best_x, best_y, best_cost = x, y, current_cost
 
         # Section 5.1 temperature rule.
@@ -98,22 +112,39 @@ class SimulatedAnnealer:
                     and time.perf_counter() - started > options.time_limit
                 ):
                     self._finish(outer + 1)
-                    return best_x, best_y, best_cost
+                    return self._best_against_collapsed(best_x, best_y, best_cost)
                 # Lines 8-10: perturb both vectors, re-optimise the free one.
                 if rng.random() < options.merge_probability:
                     candidate_x = merge_sites(x, rng)
                 else:
                     candidate_x = move_transactions(x, rng, options.move_fraction)
                 candidate_y = extend_replication(y, rng, options.move_fraction)
-                if fix == "x":
+                if incremental is not None:
+                    incremental.begin_trial()
+                    if fix == "x":
+                        new_x = candidate_x
+                        incremental.assign_x(new_x)
+                        new_y = self._optimize_y(new_x, incremental)
+                        incremental.assign_y(new_y)
+                    else:
+                        incremental.assign_y(candidate_y)
+                        new_x = self._optimize_x(candidate_y, incremental)
+                        incremental.assign_x(new_x)
+                        new_y = candidate_y | incremental.forced_y()
+                        incremental.assign_y(new_y)
+                    new_cost = incremental.objective6()
+                elif fix == "x":
                     new_x = candidate_x
                     new_y = self._optimize_y(new_x)
+                    new_cost = self.evaluator.objective6(new_x, new_y)
                 else:
                     new_x = self._optimize_x(candidate_y)
                     new_y = self.subsolver.repair_y(new_x, candidate_y)
-                new_cost = self.evaluator.objective6(new_x, new_y)
+                    new_cost = self.evaluator.objective6(new_x, new_y)
                 delta = new_cost - current_cost
                 if delta <= 0 or rng.random() < math.exp(-delta / tau):
+                    if incremental is not None:
+                        incremental.commit()
                     self.trace.accepted += 1
                     if delta > 0:
                         self.trace.accepted_worse += 1
@@ -121,6 +152,8 @@ class SimulatedAnnealer:
                     if current_cost < best_cost:
                         best_x, best_y, best_cost = x, y, current_cost
                         improved = True
+                elif incremental is not None:
+                    incremental.rollback()
                 fix = "y" if fix == "x" else "x"
             tau *= options.cooling_rate
             self.trace.outer_loops = outer + 1
@@ -148,7 +181,11 @@ class SimulatedAnnealer:
         assignment = rng.integers(0, self.num_sites, size=num_components)
         x = component_placement_to_x(labels, assignment, self.num_sites)
         y = self.subsolver.optimize_y_greedy(x, disjoint=True)
-        current_cost = self.evaluator.objective6(x, y)
+        incremental = self._make_incremental(x, y)
+        if incremental is not None:
+            current_cost = incremental.objective6()
+        else:
+            current_cost = self.evaluator.objective6(x, y)
         best = (x, y, current_cost)
 
         tau = initial_temperature(current_cost)
@@ -163,15 +200,31 @@ class SimulatedAnnealer:
                     and time.perf_counter() - started > options.time_limit
                 ):
                     self._finish(outer + 1)
-                    return best
+                    return self._best_against_collapsed(*best)
                 candidate = move_components(
                     assignment, self.num_sites, rng, options.move_fraction
                 )
                 new_x = component_placement_to_x(labels, candidate, self.num_sites)
-                new_y = self.subsolver.optimize_y_greedy(new_x, disjoint=True)
-                new_cost = self.evaluator.objective6(new_x, new_y)
+                if incremental is not None:
+                    incremental.begin_trial()
+                    incremental.assign_x(new_x)
+                    k, load_weight, forced = incremental.y_subproblem_inputs()
+                    new_y = self.subsolver.optimize_y_greedy(
+                        new_x,
+                        disjoint=True,
+                        k=k,
+                        load_weight=load_weight,
+                        forced=forced,
+                    )
+                    incremental.assign_y(new_y)
+                    new_cost = incremental.objective6()
+                else:
+                    new_y = self.subsolver.optimize_y_greedy(new_x, disjoint=True)
+                    new_cost = self.evaluator.objective6(new_x, new_y)
                 delta = new_cost - current_cost
                 if delta <= 0 or rng.random() < math.exp(-delta / tau):
+                    if incremental is not None:
+                        incremental.commit()
                     self.trace.accepted += 1
                     if delta > 0:
                         self.trace.accepted_worse += 1
@@ -179,6 +232,8 @@ class SimulatedAnnealer:
                     if current_cost < best[2]:
                         best = (x, y, current_cost)
                         improved = True
+                elif incremental is not None:
+                    incremental.rollback()
             tau *= options.cooling_rate
             self.trace.outer_loops = outer + 1
             self.trace.best_history.append(best[2])
@@ -198,6 +253,8 @@ class SimulatedAnnealer:
         on low-potential instances (the paper's rndB class, where its
         Table 3 reports SA == S=1) it is frequently optimal, and this
         makes that outcome deterministic instead of search-dependent.
+        Every exit path — including wall-clock timeouts — runs through
+        this guard.
         """
         num_transactions = self.coefficients.num_transactions
         x = np.zeros((num_transactions, self.num_sites), dtype=bool)
@@ -208,24 +265,46 @@ class SimulatedAnnealer:
             return x, y, cost
         return best_x, best_y, best_cost
 
-    def _optimize_y(self, x: np.ndarray) -> np.ndarray:
+    def _make_incremental(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> IncrementalEvaluator | None:
+        if not self.options.incremental:
+            return None
+        incremental = IncrementalEvaluator(self.coefficients, self.num_sites)
+        incremental.reset(x, y)
+        return incremental
+
+    def _optimize_y(
+        self, x: np.ndarray, incremental: IncrementalEvaluator | None = None
+    ) -> np.ndarray:
         if self.options.subsolver == "exact":
             return self.subsolver.optimize_y_exact(
                 x, time_limit=self.options.exact_time_limit
             )
+        if incremental is not None:
+            k, load_weight, forced = incremental.y_subproblem_inputs()
+            return self.subsolver.optimize_y_greedy(
+                x, k=k, load_weight=load_weight, forced=forced
+            )
         return self.subsolver.optimize_y_greedy(x)
 
-    def _optimize_x(self, y: np.ndarray) -> np.ndarray:
+    def _optimize_x(
+        self, y: np.ndarray, incremental: IncrementalEvaluator | None = None
+    ) -> np.ndarray:
         if self.options.subsolver == "exact":
             return self.subsolver.optimize_x_exact(
                 y, time_limit=self.options.exact_time_limit
             )
+        if incremental is not None:
+            cost, read_load, missing, static_load = incremental.x_subproblem_inputs()
+            return self.subsolver.optimize_x_greedy(
+                y,
+                cost=cost,
+                read_load=read_load,
+                missing=missing,
+                static_load=static_load,
+            )
         return self.subsolver.optimize_x_greedy(y)
-
-    def _find_solution(self, fix: str, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        if fix == "x":
-            return self._optimize_y(x)
-        return self._optimize_x(y)
 
     def _finish(self, outer_loops: int) -> None:
         self.trace.outer_loops = outer_loops

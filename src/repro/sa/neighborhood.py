@@ -5,6 +5,14 @@ of transactions (keeping one-site-per-transaction) and the neighbourhood
 of ``y`` as an *extended replication* of a subset of attributes: each
 chosen attribute keeps its replicas and gains at least one more. A
 constant 10% of transactions/attributes "yielded the best results".
+
+The moves draw their random targets in one batched call per move (the
+per-item ``rng.choice`` loops used to dominate the annealer's inner
+loop).  The sampled distributions are unchanged, but the generator
+stream is consumed differently, so fixed-seed trajectories differ from
+releases that used the sequential draws.  What stays pinned by tests:
+for any given seed, the incremental and dense evaluator paths visit
+identical candidates and return identical results.
 """
 
 from __future__ import annotations
@@ -20,7 +28,12 @@ def subset_size(count: int, fraction: float) -> int:
 def move_transactions(
     x: np.ndarray, rng: np.random.Generator, fraction: float
 ) -> np.ndarray:
-    """Relocate ~``fraction`` of the transactions to random sites."""
+    """Relocate ~``fraction`` of the transactions to random sites.
+
+    Each chosen transaction moves to a uniformly random *other* site
+    (one batched draw: an offset in ``[0, |S| - 1)`` skips the current
+    site).
+    """
     x = x.copy()
     num_transactions, num_sites = x.shape
     if num_sites < 2:
@@ -28,12 +41,11 @@ def move_transactions(
     chosen = rng.choice(
         num_transactions, size=subset_size(num_transactions, fraction), replace=False
     )
-    for t in chosen:
-        current = int(np.argmax(x[t]))
-        others = [s for s in range(num_sites) if s != current]
-        target = int(rng.choice(others))
-        x[t, :] = False
-        x[t, target] = True
+    current = x[chosen].argmax(axis=1)
+    offset = rng.integers(0, num_sites - 1, size=chosen.size)
+    target = offset + (offset >= current)
+    x[chosen, :] = False
+    x[chosen, target] = True
     return x
 
 
@@ -55,10 +67,13 @@ def extend_replication(
         return y
     size = min(subset_size(num_attributes, fraction), expandable.size)
     chosen = rng.choice(expandable, size=size, replace=False)
-    for a in chosen:
-        absent = np.flatnonzero(~y[a])
-        target = int(rng.choice(absent))
-        y[a, target] = True
+    # Pick a uniform absent site per chosen attribute in one batch: draw
+    # the rank of the new replica among the row's absent sites, then map
+    # ranks to site indices via the running count of absences.
+    absent = ~y[chosen]  # (n, |S|)
+    rank = rng.integers(0, absent.sum(axis=1))  # (n,)
+    target = (absent.cumsum(axis=1) == (rank + 1)[:, None]).argmax(axis=1)
+    y[chosen, target] = True
     return y
 
 
@@ -107,8 +122,7 @@ def move_components(
     chosen = rng.choice(
         num_components, size=subset_size(num_components, fraction), replace=False
     )
-    for component in chosen:
-        current = int(assignment[component])
-        others = [s for s in range(num_sites) if s != current]
-        assignment[component] = int(rng.choice(others))
+    current = assignment[chosen]
+    offset = rng.integers(0, num_sites - 1, size=chosen.size)
+    assignment[chosen] = offset + (offset >= current)
     return assignment

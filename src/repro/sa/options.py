@@ -46,6 +46,11 @@ class SaOptions:
     exact_time_limit: float = 30.0
     #: Disallow attribute replication (disjoint partitioning).
     disjoint: bool = False
+    #: Maintain objective (6) incrementally across inner-loop moves
+    #: (:class:`repro.costmodel.incremental.IncrementalEvaluator`).
+    #: ``False`` forces the dense evaluator on every iteration — slower,
+    #: but a useful cross-check and the reference semantics.
+    incremental: bool = True
     #: Probability that an x-move merges a whole site into another
     #: instead of relocating a random 10% (escapes plateaus on
     #: instances where every query touches most attributes).

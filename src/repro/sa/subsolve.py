@@ -22,7 +22,6 @@ from repro.costmodel.coefficients import CostCoefficients
 from repro.exceptions import SolverError
 from repro.solver.expr import LinExpr
 from repro.solver.model import MipModel
-from repro.solver.solution import SolutionStatus
 
 
 class SubproblemSolver:
@@ -45,7 +44,15 @@ class SubproblemSolver:
         """Replicas forced by read co-location: ``phi @ x > 0``."""
         return (self.phi @ x.astype(float)) > 0
 
-    def optimize_y_greedy(self, x: np.ndarray, disjoint: bool = False) -> np.ndarray:
+    def optimize_y_greedy(
+        self,
+        x: np.ndarray,
+        disjoint: bool = False,
+        *,
+        k: np.ndarray | None = None,
+        load_weight: np.ndarray | None = None,
+        forced: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Best attribute placement for fixed ``x`` (greedy).
 
         Cost of setting ``y[a,s] = 1`` decomposes into a linear part
@@ -53,11 +60,17 @@ class SubproblemSolver:
         the max-load term. The greedy places forced replicas, covers
         unplaced attributes at their cheapest site, then adds
         cost-negative replicas while they improve the blended objective.
+
+        ``k`` / ``load_weight`` / ``forced`` may be supplied together
+        (e.g. from an :class:`~repro.costmodel.incremental.
+        IncrementalEvaluator`) to skip the dense ``c1 @ x`` / ``c3 @ x``
+        / ``phi @ x`` products.
         """
-        xs = x.astype(float)
-        k = self.lam * (self.c1 @ xs + self.c2[:, None])  # (|A|, |S|)
-        load_weight = self.c3 @ xs + self.c4[:, None]  # (|A|, |S|), >= 0
-        forced = self.forced_y(x)
+        if k is None:
+            xs = x.astype(float)
+            k = self.lam * (self.c1 @ xs + self.c2[:, None])  # (|A|, |S|)
+            load_weight = self.c3 @ xs + self.c4[:, None]  # (|A|, |S|), >= 0
+            forced = self.forced_y(x)
 
         if disjoint:
             return self._disjoint_y(k, load_weight, forced)
@@ -107,7 +120,6 @@ class SubproblemSolver:
         self, k: np.ndarray, load_weight: np.ndarray, forced: np.ndarray
     ) -> np.ndarray:
         """Single-replica placement; forced sites must be unique per attribute."""
-        num_attributes = k.shape[0]
         y = np.zeros_like(forced)
         forced_counts = forced.sum(axis=1)
         conflicted = np.flatnonzero(forced_counts > 1)
@@ -198,7 +210,15 @@ class SubproblemSolver:
         """Add the replicas needed to make ``(x, y)`` co-location-feasible."""
         return y | self.forced_y(x)
 
-    def optimize_x_greedy(self, y: np.ndarray) -> np.ndarray:
+    def optimize_x_greedy(
+        self,
+        y: np.ndarray,
+        *,
+        cost: np.ndarray | None = None,
+        read_load: np.ndarray | None = None,
+        missing: np.ndarray | None = None,
+        static_load: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Best transaction placement for fixed ``y`` (greedy LPT-style).
 
         Transactions are placed in decreasing-load order onto the
@@ -206,16 +226,39 @@ class SubproblemSolver:
         transaction has no allowed site the caller is expected to repair
         ``y`` afterwards (see :meth:`repair_y`); here we pick the site
         with the fewest missing attributes.
+
+        ``cost`` / ``read_load`` / ``missing`` / ``static_load`` may be
+        supplied together (e.g. from an incremental evaluator) to skip
+        the dense ``c1.T @ y`` / ``c3.T @ y`` / ``phi.T @ (1 - y)``
+        products.  With ``lambda >= 1`` site choices decouple and the
+        placement is fully vectorised.
         """
-        ys = y.astype(float)
-        cost = self.lam * (self.c1.T @ ys)  # (|T|, |S|)
-        read_load = self.c3.T @ ys  # (|T|, |S|)
-        missing = self.phi.T @ (1.0 - ys)  # (|T|, |S|)
+        if cost is None:
+            ys = y.astype(float)
+            cost = self.lam * (self.c1.T @ ys)  # (|T|, |S|)
+            read_load = self.c3.T @ ys  # (|T|, |S|)
+            missing = self.phi.T @ (1.0 - ys)  # (|T|, |S|)
+            static_load = self.c4 @ ys  # static write load per site
         allowed = missing < 0.5
         num_transactions = cost.shape[0]
 
+        if self.lam >= 1.0:
+            # Load does not enter the objective: each transaction takes
+            # the cheapest allowed site independently (first-index
+            # tie-break, matching the sequential loop).
+            masked = np.where(allowed, cost, np.inf)
+            infeasible = np.flatnonzero(~allowed.any(axis=1))
+            if infeasible.size:
+                near = missing[infeasible] == missing[infeasible].min(
+                    axis=1, keepdims=True
+                )
+                masked[infeasible] = np.where(near, cost[infeasible], np.inf)
+            x = np.zeros((num_transactions, self.num_sites), dtype=bool)
+            x[np.arange(num_transactions), masked.argmin(axis=1)] = True
+            return x
+
         x = np.zeros((num_transactions, self.num_sites), dtype=bool)
-        loads = self.c4 @ ys  # static write load per site
+        loads = static_load.copy()
         order = np.argsort(-read_load.max(axis=1))
         for t in order:
             if allowed[t].any():
@@ -223,16 +266,13 @@ class SubproblemSolver:
             else:
                 min_missing = missing[t].min()
                 candidate_sites = np.flatnonzero(missing[t] == min_missing)
-            if self.lam >= 1.0:
-                best = candidate_sites[np.argmin(cost[t, candidate_sites])]
-            else:
-                current_max = loads.max()
-                delta = np.maximum(
-                    loads[candidate_sites] + read_load[t, candidate_sites],
-                    current_max,
-                ) - current_max
-                score = cost[t, candidate_sites] + (1.0 - self.lam) * delta
-                best = candidate_sites[np.argmin(score)]
+            current_max = loads.max()
+            delta = np.maximum(
+                loads[candidate_sites] + read_load[t, candidate_sites],
+                current_max,
+            ) - current_max
+            score = cost[t, candidate_sites] + (1.0 - self.lam) * delta
+            best = candidate_sites[np.argmin(score)]
             x[t, best] = True
             loads[best] += read_load[t, best]
         return x

@@ -11,7 +11,7 @@ from scipy import sparse
 
 from repro.exceptions import SolverError
 from repro.solver.expr import Constraint, LinExpr, Sense, Variable
-from repro.solver.solution import MipSolution, SolutionStatus
+from repro.solver.solution import MipSolution
 
 #: Models at most this many variables default to the from-scratch solver
 #: under ``backend="auto"``.

@@ -109,7 +109,6 @@ def brute_force_optimum(
     """
     assert coefficients.parameters.load_balance_lambda == 1.0
     num_transactions = coefficients.num_transactions
-    num_attributes = coefficients.num_attributes
     best = (np.inf, None, None)
     evaluator = SolutionEvaluator(coefficients)
     for code in range(num_sites**num_transactions):

@@ -128,7 +128,6 @@ class TestWriteAccountingModes:
             tiny_instance,
             CostParameters(write_accounting=WriteAccounting.RELEVANT_ATTRIBUTES),
         )
-        instance = coefficients.instance
         x = np.ones((2, 1), dtype=bool)
         y = np.ones((5, 1), dtype=bool)
         breakdown = SolutionEvaluator(coefficients).breakdown(x, y)
@@ -194,3 +193,97 @@ class TestFeasibility:
             evaluator.objective4(np.ones((3, 2)), np.ones((5, 2)))
         with pytest.raises(InstanceError, match="number of sites"):
             evaluator.objective4(np.ones((2, 2)), np.ones((5, 3)))
+
+
+def _relevant_write_access_reference(coefficients, y):
+    """The original (pre-vectorisation) triple loop of Section 2.1's
+    exact write accounting, kept as the reference implementation."""
+    indicators = coefficients.indicators
+    instance = coefficients.instance
+    total = 0.0
+    for q_index in np.flatnonzero(indicators.delta > 0):
+        updated = indicators.alpha[:, q_index] > 0
+        for s_index in range(y.shape[1]):
+            on_site = y[:, s_index] > 0
+            hit_attrs = np.flatnonzero(updated & on_site)
+            if hit_attrs.size == 0:
+                continue
+            hit_tables = {instance.attributes[a].table for a in hit_attrs}
+            for table in hit_tables:
+                members = np.asarray(instance.table_attributes[table])
+                local = members[on_site[members]]
+                total += float(coefficients.weights[local, q_index].sum())
+    return total
+
+
+def _latency_reference(coefficients, x, y, penalty):
+    """The original per-write-query latency loop."""
+    indicators = coefficients.indicators
+    owner = np.asarray(coefficients.instance.query_transaction)
+    home_sites = x.argmax(axis=1)
+    frequencies = np.asarray(
+        [query.frequency for query in coefficients.instance.queries]
+    )
+    total = 0.0
+    replica_counts = y.sum(axis=1)
+    for q_index in np.flatnonzero(indicators.delta > 0):
+        home = home_sites[owner[q_index]]
+        updated = indicators.alpha[:, q_index] > 0
+        remote = replica_counts[updated] - y[updated, home]
+        if remote.sum() > 0:
+            total += frequencies[q_index]
+    return penalty * total
+
+
+class TestVectorisedKernels:
+    """The vectorised relevant-write and latency kernels against their
+    original reference loops."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2_000),
+        num_sites=st.integers(min_value=1, max_value=4),
+    )
+    def test_relevant_write_access_matches_reference(self, seed, num_sites):
+        instance = small_random_instance(seed)
+        coefficients = build_coefficients(
+            instance,
+            CostParameters(write_accounting=WriteAccounting.RELEVANT_ATTRIBUTES),
+        )
+        x, y = random_feasible_solution(coefficients, num_sites, seed + 1)
+        evaluator = SolutionEvaluator(coefficients)
+        vectorised = evaluator._relevant_write_access(
+            x.astype(float), y.astype(float)
+        )
+        assert vectorised == pytest.approx(
+            _relevant_write_access_reference(coefficients, y), rel=1e-12
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2_000),
+        num_sites=st.integers(min_value=1, max_value=4),
+    )
+    def test_latency_matches_reference(self, seed, num_sites):
+        instance = small_random_instance(seed)
+        coefficients = build_coefficients(
+            instance, CostParameters(latency_penalty=3.5)
+        )
+        x, y = random_feasible_solution(coefficients, num_sites, seed + 1)
+        evaluator = SolutionEvaluator(coefficients)
+        assert evaluator.latency(x, y) == pytest.approx(
+            _latency_reference(coefficients, x, y, 3.5), rel=1e-12
+        )
+
+    def test_latency_rejects_unplaced_transaction(self, tiny_instance):
+        """Regression: a transaction on zero sites used to be silently
+        treated as homed on site 0."""
+        coefficients = build_coefficients(
+            tiny_instance, CostParameters(latency_penalty=10.0)
+        )
+        evaluator = SolutionEvaluator(coefficients)
+        x = np.zeros((2, 2), dtype=bool)
+        x[0, 0] = True  # the Writer transaction is placed nowhere
+        y = np.ones((5, 2), dtype=bool)
+        with pytest.raises(InstanceError, match="no site"):
+            evaluator.latency(x, y)

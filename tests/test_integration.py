@@ -7,7 +7,6 @@ checks the pieces agree with each other.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import SolverError
 from repro.solver.expr import Sense
-from repro.solver.model import MipModel, ObjectiveSense
+from repro.solver.model import MipModel
 from repro.solver.solution import SolutionStatus
 
 

@@ -1,5 +1,6 @@
 """The simulated annealer (Algorithm 1) and its building blocks."""
 
+import dataclasses
 import math
 
 import numpy as np
@@ -8,7 +9,7 @@ import pytest
 from repro.costmodel.coefficients import build_coefficients
 from repro.costmodel.config import CostParameters
 from repro.costmodel.evaluator import SolutionEvaluator, check_solution_feasible
-from repro.sa.annealer import SimulatedAnnealer, initial_temperature
+from repro.sa.annealer import AnnealingTrace, SimulatedAnnealer, initial_temperature
 from repro.sa.neighborhood import (
     extend_replication,
     move_components,
@@ -190,3 +191,81 @@ class TestAnnealer:
         )
         x, y, _ = annealer.run()
         assert check_solution_feasible(coefficients, x, y)
+
+
+def _collapsed_cost(coefficients, num_sites, disjoint=False):
+    """Objective (6) of the trivial all-on-site-0 layout."""
+    from repro.costmodel.evaluator import SolutionEvaluator
+    from repro.sa.subsolve import SubproblemSolver
+
+    x = np.zeros((coefficients.num_transactions, num_sites), dtype=bool)
+    x[:, 0] = True
+    subsolver = SubproblemSolver(coefficients, num_sites)
+    y = subsolver.optimize_y_greedy(x, disjoint=disjoint)
+    return SolutionEvaluator(coefficients).objective6(x, y)
+
+
+class TestExitPaths:
+    """Every exit — including wall-clock timeouts — runs through the
+    collapsed one-site guard (regression for the unguarded time-limit
+    early returns)."""
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_timeout_blended_never_worse_than_collapsed(self, incremental):
+        for seed in range(5):
+            instance = small_random_instance(seed, num_transactions=8, num_tables=6)
+            coefficients = build_coefficients(instance, CostParameters())
+            annealer = SimulatedAnnealer(
+                coefficients, 3,
+                SaOptions(inner_loops=50, max_outer_loops=50, seed=seed,
+                          time_limit=0.0, incremental=incremental),
+            )
+            x, y, cost = annealer.run()
+            assert check_solution_feasible(coefficients, x, y)
+            assert cost <= _collapsed_cost(coefficients, 3) + 1e-9
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_timeout_disjoint_never_worse_than_collapsed(self, incremental):
+        for seed in range(5):
+            instance = small_random_instance(seed, num_transactions=8, num_tables=6)
+            coefficients = build_coefficients(instance, CostParameters())
+            annealer = SimulatedAnnealer(
+                coefficients, 3,
+                SaOptions(inner_loops=50, max_outer_loops=50, seed=seed,
+                          time_limit=0.0, disjoint=True, incremental=incremental),
+            )
+            x, y, cost = annealer.run()
+            assert check_solution_feasible(coefficients, x, y)
+            assert cost <= _collapsed_cost(coefficients, 3, disjoint=True) + 1e-9
+
+    def test_timeout_guard_actually_bites(self):
+        """On at least one seed the unguarded exit would have returned
+        a random start strictly worse than the collapsed layout."""
+        from repro.costmodel.evaluator import SolutionEvaluator
+        from repro.sa.state import random_transaction_placement
+        from repro.sa.subsolve import SubproblemSolver
+
+        bites = 0
+        for seed in range(5):
+            instance = small_random_instance(seed, num_transactions=8, num_tables=6)
+            coefficients = build_coefficients(instance, CostParameters())
+            rng = np.random.default_rng(seed)
+            x = random_transaction_placement(coefficients.num_transactions, 3, rng)
+            subsolver = SubproblemSolver(coefficients, 3)
+            y = subsolver.optimize_y_greedy(x)
+            start_cost = SolutionEvaluator(coefficients).objective6(x, y)
+            if start_cost > _collapsed_cost(coefficients, 3) + 1e-9:
+                bites += 1
+        assert bites > 0
+
+
+class TestAnnealingTrace:
+    def test_best_history_uses_default_factory(self):
+        """Regression: the field must not default to None (nor share
+        one list between instances)."""
+        field = AnnealingTrace.__dataclass_fields__["best_history"]
+        assert field.default is dataclasses.MISSING
+        assert field.default_factory is list
+        first, second = AnnealingTrace(), AnnealingTrace()
+        first.best_history.append(1.0)
+        assert second.best_history == []

@@ -156,3 +156,60 @@ class TestOptimizeX:
         assert evaluator.objective6(x_exact, y_exact) <= (
             evaluator.objective6(x_greedy, y_greedy) + 1e-6
         )
+
+
+class TestPrecomputedInputs:
+    """The keyword-only precomputed inputs (fed by the incremental
+    evaluator) must reproduce the dense computation exactly."""
+
+    @pytest.mark.parametrize("lam", [1.0, 0.6])
+    @pytest.mark.parametrize("disjoint", [False, True])
+    def test_optimize_y_matches_dense(self, lam, disjoint):
+        for seed in range(3):
+            instance = small_random_instance(seed)
+            coefficients = build_coefficients(
+                instance, CostParameters(load_balance_lambda=lam)
+            )
+            solver = SubproblemSolver(coefficients, 3)
+            rng = np.random.default_rng(seed)
+            if disjoint:
+                # Disjoint needs conflict-free forced sites.
+                x = np.zeros((coefficients.num_transactions, 3), dtype=bool)
+                x[:, 1] = True
+            else:
+                x = random_transaction_placement(
+                    coefficients.num_transactions, 3, rng
+                )
+            xs = x.astype(float)
+            k = lam * (coefficients.c1 @ xs + coefficients.c2[:, None])
+            load_weight = coefficients.c3 @ xs + coefficients.c4[:, None]
+            forced = solver.forced_y(x)
+            np.testing.assert_array_equal(
+                solver.optimize_y_greedy(
+                    x, disjoint=disjoint, k=k, load_weight=load_weight, forced=forced
+                ),
+                solver.optimize_y_greedy(x, disjoint=disjoint),
+            )
+
+    @pytest.mark.parametrize("lam", [1.0, 0.6])
+    def test_optimize_x_matches_dense(self, lam):
+        for seed in range(3):
+            instance = small_random_instance(seed)
+            coefficients = build_coefficients(
+                instance, CostParameters(load_balance_lambda=lam)
+            )
+            solver = SubproblemSolver(coefficients, 3)
+            rng = np.random.default_rng(seed)
+            x0 = random_transaction_placement(coefficients.num_transactions, 3, rng)
+            y = solver.optimize_y_greedy(x0)
+            ys = y.astype(float)
+            np.testing.assert_array_equal(
+                solver.optimize_x_greedy(
+                    y,
+                    cost=lam * (coefficients.c1.T @ ys),
+                    read_load=coefficients.c3.T @ ys,
+                    missing=solver.phi.T @ (1.0 - ys),
+                    static_load=coefficients.c4 @ ys,
+                ),
+                solver.optimize_x_greedy(y),
+            )

@@ -1,6 +1,5 @@
 """The TPC-C instance: structure, conventions and headline results."""
 
-import numpy as np
 import pytest
 
 from repro.costmodel.coefficients import build_coefficients
