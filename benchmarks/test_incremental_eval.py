@@ -12,6 +12,7 @@ Two claims are pinned (on ``rndAt64x100``, a Table-2/3 instance with
 Plus pytest-benchmark baselines for the delta-evaluation primitives.
 """
 
+import gc
 import os
 import time
 
@@ -51,33 +52,60 @@ def _timed_run(coefficients, incremental: bool):
     return elapsed / annealer.trace.iterations, cost
 
 
+def _measure_speedup(coefficients):
+    """Best-of-3 dense/incremental per-iteration ratio (one run each)."""
+    dense_times, incremental_times = [], []
+    dense_cost = incremental_cost = None
+    for _ in range(3):
+        per_iteration, incremental_cost = _timed_run(coefficients, True)
+        incremental_times.append(per_iteration)
+        per_iteration, dense_cost = _timed_run(coefficients, False)
+        dense_times.append(per_iteration)
+    speedup = min(dense_times) / min(incremental_times)
+    return speedup, min(dense_times), min(incremental_times), dense_cost, incremental_cost
+
+
 def test_incremental_inner_loop_speedup(large_coefficients):
-    """>= 3x per-iteration speedup of the SA inner loop, same answer."""
+    """>= 3x per-iteration speedup of the SA inner loop, same answer.
+
+    The gate is a *ratio* of two interleaved measurements on the same
+    box, so an absolutely slow runner passes as long as both paths slow
+    down together; transient noise (a neighbour stealing the core
+    mid-measurement) is absorbed by retrying the whole measurement a
+    few times and keeping the best ratio seen.  Shared CI runners get a
+    slightly relaxed threshold — they routinely timeslice below the
+    resolution these sub-millisecond loops need.
+    """
     # One discarded pass per path: BLAS/allocator warm-up dominates the
     # first measurement otherwise.
     _timed_run(large_coefficients, True)
     _timed_run(large_coefficients, False)
-    dense_times, incremental_times = [], []
-    dense_cost = incremental_cost = None
-    for _ in range(3):
-        per_iteration, incremental_cost = _timed_run(large_coefficients, True)
-        incremental_times.append(per_iteration)
-        per_iteration, dense_cost = _timed_run(large_coefficients, False)
-        dense_times.append(per_iteration)
-    speedup = min(dense_times) / min(incremental_times)
-    print(
-        f"\nSA inner loop on rndAt64x100 "
-        f"(|A|={large_coefficients.num_attributes}): "
-        f"dense {min(dense_times) * 1e6:.0f}us/iter, "
-        f"incremental {min(incremental_times) * 1e6:.0f}us/iter, "
-        f"speedup {speedup:.1f}x"
-    )
-    assert incremental_cost == pytest.approx(dense_cost, rel=1e-9)
-    if os.environ.get("CI"):
-        # Shared CI runners have noisy clocks: keep the cost-equality
-        # signal, report the timing, but never gate the build on it.
-        return
-    assert speedup >= 3.0
+    # CI gets a relaxed threshold — shared runners routinely timeslice
+    # below the resolution these sub-millisecond loops need.  Five
+    # attempts everywhere: a 3.5x steady-state ratio has to stay
+    # depressed through five independent measurements to go red.
+    threshold = 2.0 if os.environ.get("CI") else 3.0
+    attempts = 5
+    best_speedup = 0.0
+    for attempt in range(attempts):
+        # Allocator/GC debris from earlier tests in the session slows
+        # the (allocation-heavier) incremental path and skews the ratio.
+        gc.collect()
+        speedup, dense, incremental, dense_cost, incremental_cost = _measure_speedup(
+            large_coefficients
+        )
+        assert incremental_cost == pytest.approx(dense_cost, rel=1e-9)
+        best_speedup = max(best_speedup, speedup)
+        print(
+            f"\nSA inner loop on rndAt64x100 "
+            f"(|A|={large_coefficients.num_attributes}, attempt {attempt + 1}): "
+            f"dense {dense * 1e6:.0f}us/iter, "
+            f"incremental {incremental * 1e6:.0f}us/iter, "
+            f"speedup {speedup:.1f}x"
+        )
+        if best_speedup >= threshold:
+            break
+    assert best_speedup >= threshold
 
 
 @pytest.mark.parametrize("name", ["rndAt8x15", "rndBt8x15", "rndAt16x100"])

@@ -1,16 +1,26 @@
-"""Parameter sweeps over the cost model."""
+"""Parameter sweeps over the cost model.
+
+Every sweep reuses a :class:`SweepCaches` bundle across its points: the
+instance's indicators/weights feed a
+:class:`~repro.costmodel.coefficients.CoefficientCache` (coefficients
+are assembled with exactly the uncached arithmetic, so results are
+bitwise identical), and the QP points share a
+:class:`~repro.qp.linearize.LinearizationCache` so
+``build_linearized_model`` re-prices the cached constraint skeleton
+instead of rebuilding every variable and constraint from scratch.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.coefficients import CoefficientCache
 from repro.costmodel.config import CostParameters
-from repro.costmodel.constants import build_indicators
 from repro.exceptions import SolverLimitError
 from repro.model.instance import ProblemInstance
 from repro.partition.assignment import PartitioningResult, single_site_partitioning
+from repro.qp.linearize import LinearizationCache
 from repro.qp.solver import QpPartitioner
 from repro.sa.options import SaOptions
 from repro.sa.solver import SaPartitioner
@@ -59,22 +69,45 @@ class SweepSeries:
         ]
 
 
+class SweepCaches:
+    """Per-sweep cache bundle: coefficients and QP model skeletons.
+
+    ``skeletons=False`` drops the linearization cache — used by sweeps
+    whose points can never share a skeleton (``sites_sweep`` changes
+    ``num_sites`` every point), where caching would only retain dead
+    models for the sweep's lifetime.
+    """
+
+    def __init__(self, instance: ProblemInstance, skeletons: bool = True):
+        self.coefficients = CoefficientCache(instance)
+        self.linearization: LinearizationCache | None = (
+            LinearizationCache() if skeletons else None
+        )
+
+
 def _solve(
-    instance: ProblemInstance,
+    caches: SweepCaches,
     num_sites: int,
     parameters: CostParameters,
     solver: str,
     time_limit: float,
     seed: int,
+    sa_options: SaOptions | None = None,
 ) -> PartitioningResult:
-    coefficients = build_coefficients(instance, parameters)
+    coefficients = caches.coefficients.coefficients(parameters)
     if num_sites == 1:
         return single_site_partitioning(coefficients)
     if solver == "qp":
-        return QpPartitioner(coefficients, num_sites).solve(
-            time_limit=time_limit, backend="scipy"
-        )
-    options = SaOptions(inner_loops=10, max_outer_loops=20, seed=seed)
+        return QpPartitioner(
+            coefficients, num_sites, linearization_cache=caches.linearization
+        ).solve(time_limit=time_limit, backend="scipy")
+    options = sa_options or SaOptions(inner_loops=10, max_outer_loops=20)
+    if options.seed is None:
+        # The sweep-level seed fills in only when the caller's options
+        # don't pin one already.
+        from dataclasses import replace
+
+        options = replace(options, seed=seed)
     return SaPartitioner(coefficients, num_sites, options=options).solve()
 
 
@@ -98,6 +131,7 @@ def penalty_sweep(
     solver: str = "qp",
     time_limit: float = 30.0,
     seed: int = 0,
+    sa_options: SaOptions | None = None,
 ) -> SweepSeries:
     """Optimal cost as the network penalty ``p`` grows.
 
@@ -107,9 +141,12 @@ def penalty_sweep(
     attributes less as transfer gets pricier.
     """
     series = SweepSeries(instance.name, "p", solver)
+    caches = SweepCaches(instance)
     for penalty in penalties:
         parameters = CostParameters(network_penalty=penalty)
-        result = _solve(instance, num_sites, parameters, solver, time_limit, seed)
+        result = _solve(
+            caches, num_sites, parameters, solver, time_limit, seed, sa_options
+        )
         series.points.append(_point(penalty, result))
     return series
 
@@ -121,12 +158,16 @@ def sites_sweep(
     solver: str = "qp",
     time_limit: float = 30.0,
     seed: int = 0,
+    sa_options: SaOptions | None = None,
 ) -> SweepSeries:
     """Optimal cost as the number of sites grows (the Table 5 plateau)."""
     parameters = parameters or CostParameters()
     series = SweepSeries(instance.name, "|S|", solver)
+    caches = SweepCaches(instance, skeletons=False)
     for num_sites in range(1, max_sites + 1):
-        result = _solve(instance, num_sites, parameters, solver, time_limit, seed)
+        result = _solve(
+            caches, num_sites, parameters, solver, time_limit, seed, sa_options
+        )
         series.points.append(_point(float(num_sites), result))
     return series
 
@@ -138,6 +179,7 @@ def lambda_sweep(
     solver: str = "qp",
     time_limit: float = 30.0,
     seed: int = 0,
+    sa_options: SaOptions | None = None,
 ) -> SweepSeries:
     """The cost/balance trade-off: objective (4) and max load vs lambda.
 
@@ -146,9 +188,12 @@ def lambda_sweep(
     DESIGN.md around the paper's lambda = 0.1.
     """
     series = SweepSeries(instance.name, "lambda", solver)
+    caches = SweepCaches(instance)
     for lam in lambdas:
         parameters = CostParameters(load_balance_lambda=lam)
-        result = _solve(instance, num_sites, parameters, solver, time_limit, seed)
+        result = _solve(
+            caches, num_sites, parameters, solver, time_limit, seed, sa_options
+        )
         series.points.append(_point(lam, result))
     return series
 
@@ -165,16 +210,18 @@ def replication_price_sweep(
     (Table 5) should erode as ``p`` grows on write-heavy workloads.
     """
     rows: list[dict[str, float]] = []
-    indicators = build_indicators(instance)
+    caches = SweepCaches(instance)
     for penalty in penalties:
         parameters = CostParameters(network_penalty=penalty)
-        coefficients = build_coefficients(instance, parameters, indicators)
+        coefficients = caches.coefficients.coefficients(parameters)
         try:
-            replicated = QpPartitioner(coefficients, num_sites).solve(
-                time_limit=time_limit, backend="scipy"
-            )
+            replicated = QpPartitioner(
+                coefficients, num_sites,
+                linearization_cache=caches.linearization,
+            ).solve(time_limit=time_limit, backend="scipy")
             disjoint = QpPartitioner(
-                coefficients, num_sites, allow_replication=False
+                coefficients, num_sites, allow_replication=False,
+                linearization_cache=caches.linearization,
             ).solve(time_limit=time_limit, backend="scipy")
         except SolverLimitError:
             continue

@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.exceptions import ReproError
 from repro.sa.options import SaOptions
 
 PROFILE_ENV_VAR = "REPRO_BENCH_PROFILE"
+#: Override the SA restart portfolio size for a bench run (best-of-N).
+RESTARTS_ENV_VAR = "REPRO_BENCH_RESTARTS"
+#: Override the SA portfolio worker count for a bench run.
+JOBS_ENV_VAR = "REPRO_BENCH_JOBS"
 
 
 @dataclass(frozen=True)
@@ -32,8 +36,6 @@ class BenchProfile:
     def sa_for(self, num_attributes: int) -> SaOptions:
         """SA options, slightly reduced for very large instances."""
         if num_attributes > 500 and self.sa_options.max_outer_loops > 15:
-            from dataclasses import replace
-
             return replace(self.sa_options, max_outer_loops=15)
         return self.sa_options
 
@@ -59,12 +61,40 @@ PAPER_PROFILE = BenchProfile(
 _PROFILES = {profile.name: profile for profile in (QUICK_PROFILE, PAPER_PROFILE)}
 
 
+def _int_env(variable: str) -> int | None:
+    value = os.environ.get(variable)
+    if value is None or not value.strip():
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ReproError(
+            f"{variable} must be an integer, got {value!r}"
+        ) from None
+
+
 def get_profile(name: str | None = None) -> BenchProfile:
-    """Look up a profile by name, falling back to ``REPRO_BENCH_PROFILE``."""
+    """Look up a profile by name, falling back to ``REPRO_BENCH_PROFILE``.
+
+    ``REPRO_BENCH_RESTARTS`` / ``REPRO_BENCH_JOBS`` layer a multi-start
+    annealing portfolio on top of any profile without editing it:
+    best-of-N restarts, optionally across N workers (see
+    :mod:`repro.sa.portfolio`).
+    """
     if name is None:
         name = os.environ.get(PROFILE_ENV_VAR, "quick")
     try:
-        return _PROFILES[name]
+        profile = _PROFILES[name]
     except KeyError:
         known = ", ".join(_PROFILES)
         raise ReproError(f"unknown bench profile {name!r}; known: {known}") from None
+    overrides = {}
+    restarts = _int_env(RESTARTS_ENV_VAR)
+    if restarts is not None:
+        overrides["restarts"] = restarts
+    jobs = _int_env(JOBS_ENV_VAR)
+    if jobs is not None:
+        overrides["jobs"] = jobs
+    if overrides:
+        profile = replace(profile, sa_options=replace(profile.sa_options, **overrides))
+    return profile

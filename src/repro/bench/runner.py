@@ -45,7 +45,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     targets = list(TABLE_FUNCTIONS) if argv == ["all"] else argv
     profile = get_profile()
-    print(f"# bench profile: {profile.name}")
+    sa_options = profile.sa_options
+    portfolio = ""
+    if sa_options.restarts > 1:
+        portfolio = (
+            f" (SA portfolio: best-of-{sa_options.restarts}, "
+            f"jobs={sa_options.jobs})"
+        )
+    elif sa_options.jobs > 1:
+        # jobs without restarts is a no-op; say so instead of implying
+        # a portfolio ran.
+        portfolio = (
+            f" (REPRO_BENCH_JOBS={sa_options.jobs} ignored: "
+            f"set REPRO_BENCH_RESTARTS > 1 for a portfolio)"
+        )
+    print(f"# bench profile: {profile.name}{portfolio}")
     for target in targets:
         started = time.perf_counter()
         table = run_table(target, profile)

@@ -63,19 +63,40 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     coefficients = build_coefficients(instance, parameters)
     baseline = single_site_partitioning(coefficients)
     if args.solver == "qp":
+        if args.restarts != 1 or args.jobs != 1:
+            raise ReproError(
+                "--restarts/--jobs configure the SA multi-start portfolio; "
+                "use --solver sa with them"
+            )
         result = solve_qp(
             instance,
             args.sites,
             parameters=parameters,
             allow_replication=not args.disjoint,
-            time_limit=args.time_limit,
+            time_limit=args.time_limit if args.time_limit is not None else 60.0,
         )
     else:
-        options = SaOptions(seed=args.seed, disjoint=args.disjoint)
+        # No implicit budget: without an explicit --time-limit every
+        # restart runs to completion, keeping fixed-seed runs
+        # deterministic; with one, it bounds the whole SA solve.
+        options = SaOptions(
+            seed=args.seed,
+            disjoint=args.disjoint,
+            restarts=args.restarts,
+            jobs=args.jobs,
+            portfolio_time_limit=args.time_limit,
+        )
         result = solve_sa(instance, args.sites, parameters=parameters, options=options)
     reduction = 100.0 * (1.0 - result.objective / baseline.objective)
     print(f"instance      : {instance.name}")
     print(f"solver        : {result.solver} ({result.wall_time:.2f}s)")
+    if result.metadata.get("restarts", 1) > 1:
+        print(
+            f"portfolio     : best-of-{result.metadata['restarts']} "
+            f"(restart {result.metadata['best_restart']} won, "
+            f"jobs={result.metadata['jobs']}, "
+            f"{result.metadata['executor']} executor)"
+        )
     print(f"sites         : {args.sites}")
     print(f"objective (4) : {result.objective:.0f}")
     print(f"single-site   : {baseline.objective:.0f}  (reduction {reduction:.1f}%)")
@@ -129,8 +150,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "(the paper's Section-5 setting is 0.1)")
     advise.add_argument("--disjoint", action="store_true",
                         help="forbid attribute replication")
-    advise.add_argument("--time-limit", type=float, default=60.0)
+    advise.add_argument("--time-limit", type=float, default=None,
+                        help="wall-clock budget in seconds: caps the QP "
+                        "solve (default 60) or, with --restarts > 1, the "
+                        "whole SA portfolio (default: no budget — "
+                        "truncation would make fixed-seed runs "
+                        "machine-dependent)")
     advise.add_argument("--seed", type=int, default=None)
+    advise.add_argument("--restarts", type=int, default=1,
+                        help="SA multi-start portfolio size: run N "
+                        "independently seeded anneals and keep the best "
+                        "(deterministic for a fixed --seed; --time-limit "
+                        "bounds the whole portfolio)")
+    advise.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --restarts > 1 "
+                        "(results are identical for any value, only "
+                        "wall-clock changes)")
     advise.add_argument("--layout", action="store_true",
                         help="print the full Table-4-style layout")
     advise.set_defaults(func=_cmd_advise)

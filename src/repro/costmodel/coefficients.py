@@ -169,6 +169,16 @@ def build_coefficients(
     parameters = parameters or CostParameters()
     indicators = indicators or build_indicators(instance)
     weights = build_weights(instance, indicators)
+    return _assemble_coefficients(instance, parameters, indicators, weights)
+
+
+def _assemble_coefficients(
+    instance: ProblemInstance,
+    parameters: CostParameters,
+    indicators: IndicatorArrays,
+    weights: np.ndarray,
+) -> CostCoefficients:
+    """The parameter-dependent tail of :func:`build_coefficients`."""
     penalty = parameters.network_penalty
 
     alpha = indicators.alpha
@@ -203,3 +213,40 @@ def build_coefficients(
         c3=c3,
         c4=c4,
     )
+
+
+class CoefficientCache:
+    """Shares the parameter-independent work of :func:`build_coefficients`
+    across the points of a parameter sweep.
+
+    Indicators and weights depend only on the instance; the coefficient
+    arrays built from them go through :func:`_assemble_coefficients`
+    with exactly the same operations as an uncached build, so the
+    returned :class:`CostCoefficients` are bitwise identical to
+    ``build_coefficients(instance, parameters)`` — sweeps using the
+    cache reproduce uncached results to the last ulp.  Repeated requests
+    for the *same* parameters additionally return the same object, so
+    its ``cached_property`` products (``phi_bool``, the write tensors,
+    table groups, ...) are also shared across sweep points.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        indicators: IndicatorArrays | None = None,
+    ):
+        self.instance = instance
+        self.indicators = indicators or build_indicators(instance)
+        self.weights = build_weights(instance, self.indicators)
+        self._memo: dict[CostParameters, CostCoefficients] = {}
+
+    def coefficients(self, parameters: CostParameters | None = None) -> CostCoefficients:
+        """The coefficients for ``parameters`` (memoised per parameters)."""
+        parameters = parameters or CostParameters()
+        cached = self._memo.get(parameters)
+        if cached is None:
+            cached = _assemble_coefficients(
+                self.instance, parameters, self.indicators, self.weights
+            )
+            self._memo[parameters] = cached
+        return cached

@@ -27,6 +27,10 @@ class SolverError(ReproError):
     """A solver failed (infeasible model, numerical trouble, bad options)."""
 
 
+class OptionsError(SolverError):
+    """Solver options are invalid (caught eagerly, before any solve starts)."""
+
+
 class InfeasibleError(SolverError):
     """The optimisation model has no feasible solution."""
 

@@ -10,6 +10,19 @@ variables ``u[t,a,s]`` with the three inequalities of Section 2.3:
 ``u`` is created only for ``(a, t)`` pairs whose coefficient in the
 objective (``c1``) or the load constraint (``c3``) is non-zero, which
 keeps the model far smaller than the dense ``|A| * |T| * |S|`` bound.
+
+Sweep-level caching
+-------------------
+
+Across the points of a parameter sweep (``p``, ``lambda``) only the
+objective prices change: the placement / co-location / linearisation /
+load constraints depend on the instance, the sparsity pattern of
+``c1``/``c3`` and the flags, not on the parameter values.  Passing a
+:class:`LinearizationCache` lets :func:`build_linearized_model` detect
+this, clone the cached constraint skeleton
+(:meth:`~repro.solver.model.MipModel.clone_structure`) and re-price the
+objective only — the resulting model converts to exactly the same
+standard arrays as a from-scratch build.
 """
 
 from __future__ import annotations
@@ -84,12 +97,113 @@ class LinearizedModel:
         return values
 
 
+@dataclass
+class _SkeletonEntry:
+    """One cached constraint skeleton plus the data proving it reusable."""
+
+    instance: object
+    indicators: object
+    load_side: bool
+    latency_active: bool
+    need_pair: np.ndarray
+    c3: np.ndarray
+    c4: np.ndarray
+    model: MipModel
+    x_vars: np.ndarray
+    y_vars: np.ndarray
+    u_vars: dict[tuple[int, int, int], Variable]
+    m_var: Variable | None
+    psi_vars: dict[int, Variable]
+
+
+class LinearizationCache:
+    """Reuses model-(7) constraint skeletons across sweep points.
+
+    Keyed by ``(num_sites, allow_replication, latency,
+    symmetry_breaking)``; a hit additionally requires the same instance
+    and indicators (by identity), the same ``lambda < 1`` /
+    latency-active regime and identical ``need_pair`` / ``c3`` / ``c4``
+    arrays — everything the constraint rows are built from.  A miss
+    falls back to a full build and refreshes the entry.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, bool, bool, bool], _SkeletonEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self,
+        key: tuple[int, bool, bool, bool],
+        coefficients: CostCoefficients,
+        load_side: bool,
+        latency_active: bool,
+        need_pair: np.ndarray,
+    ) -> _SkeletonEntry | None:
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and entry.instance is coefficients.instance
+            and entry.indicators is coefficients.indicators
+            and entry.load_side == load_side
+            and entry.latency_active == latency_active
+            and np.array_equal(entry.need_pair, need_pair)
+            and np.array_equal(entry.c3, coefficients.c3)
+            and np.array_equal(entry.c4, coefficients.c4)
+        ):
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, key: tuple[int, bool, bool, bool], entry: _SkeletonEntry) -> None:
+        self._entries[key] = entry
+
+
+def _objective_terms(
+    coefficients: CostCoefficients,
+    lam: float,
+    u_vars: dict[tuple[int, int, int], Variable],
+    y_vars: np.ndarray,
+    m_var: Variable | None,
+    psi_vars: dict[int, Variable],
+) -> list[tuple[Variable, float]]:
+    """Objective prices of model (7) for the given variable handles.
+
+    Shared by the from-scratch build and the cached re-pricing path so
+    both produce the same expression for the same coefficients.
+    """
+    objective_terms: list[tuple[Variable, float]] = []
+    for (t, a, s), u in u_vars.items():
+        coefficient = lam * coefficients.c1[a, t]
+        if coefficient != 0.0:
+            objective_terms.append((u, coefficient))
+    num_attributes, num_sites = y_vars.shape
+    for a in range(num_attributes):
+        coefficient = lam * coefficients.c2[a]
+        if coefficient != 0.0:
+            for s in range(num_sites):
+                objective_terms.append((y_vars[a, s], coefficient))
+    if m_var is not None:
+        objective_terms.append((m_var, 1.0 - lam))
+    if psi_vars:
+        instance = coefficients.instance
+        penalty = coefficients.parameters.latency_penalty
+        frequencies = [query.frequency for query in instance.queries]
+        for q_index, psi in psi_vars.items():
+            objective_terms.append(
+                (psi, lam * penalty * float(frequencies[q_index]))
+            )
+    return objective_terms
+
+
 def build_linearized_model(
     coefficients: CostCoefficients,
     num_sites: int,
     allow_replication: bool = True,
     latency: bool = False,
     symmetry_breaking: bool = True,
+    cache: LinearizationCache | None = None,
 ) -> LinearizedModel:
     """Construct the linearised model (7).
 
@@ -106,6 +220,12 @@ def build_linearized_model(
         Sites are homogeneous, so transaction ``t`` may be restricted to
         sites ``0..t`` without losing any solution; prunes the search
         considerably.
+    cache:
+        Optional :class:`LinearizationCache`: when the constraint
+        skeleton matches a cached build (same instance, flags and
+        coefficient sparsity — only the objective prices changed, as in
+        a ``p`` or ``lambda`` sweep), the skeleton is cloned and only
+        the objective is rebuilt.
     """
     if num_sites < 1:
         raise SolverError(f"need at least one site, got {num_sites}")
@@ -120,6 +240,43 @@ def build_linearized_model(
     num_transactions = coefficients.num_transactions
     num_attributes = coefficients.num_attributes
     instance = coefficients.instance
+
+    # --- linearisation pair pattern (also the cache signature) ---------
+    need_pair = (coefficients.c1 != 0) | ((lam < 1.0) & (coefficients.c3 != 0))
+    if latency:
+        indicators = coefficients.indicators
+        write_alpha = (
+            indicators.alpha * indicators.delta[None, :]
+        ) @ indicators.gamma  # (|A|, |T|)
+        need_pair = need_pair | (write_alpha > 0)
+    load_side = lam < 1.0
+    latency_active = latency and parameters.latency_penalty > 0
+
+    cache_key = (num_sites, allow_replication, latency, symmetry_breaking)
+    if cache is not None:
+        entry = cache.lookup(cache_key, coefficients, load_side, latency_active, need_pair)
+        if entry is not None:
+            model = entry.model.clone_structure(
+                f"qp[{instance.name},S={num_sites}]"
+            )
+            model.minimize(
+                LinExpr.from_terms(
+                    _objective_terms(
+                        coefficients, lam, entry.u_vars, entry.y_vars,
+                        entry.m_var, entry.psi_vars,
+                    )
+                )
+            )
+            return LinearizedModel(
+                model=model,
+                coefficients=coefficients,
+                num_sites=num_sites,
+                x_vars=entry.x_vars,
+                y_vars=entry.y_vars,
+                u_vars=entry.u_vars,
+                m_var=entry.m_var,
+                psi_vars=entry.psi_vars,
+            )
 
     model = MipModel(f"qp[{instance.name},S={num_sites}]")
 
@@ -156,13 +313,6 @@ def build_linearized_model(
             )
 
     # --- linearisation variables --------------------------------------
-    need_pair = (coefficients.c1 != 0) | ((lam < 1.0) & (coefficients.c3 != 0))
-    if latency:
-        indicators = coefficients.indicators
-        write_alpha = (
-            indicators.alpha * indicators.delta[None, :]
-        ) @ indicators.gamma  # (|A|, |T|)
-        need_pair = need_pair | (write_alpha > 0)
     u_vars: dict[tuple[int, int, int], Variable] = {}
     for a, t in zip(*np.nonzero(need_pair)):
         for s in range(num_sites):
@@ -172,22 +322,10 @@ def build_linearized_model(
             model.add_constraint(u - y_vars[a, s] <= 0)
             model.add_constraint(u - x_vars[t, s] - y_vars[a, s] >= -1)
 
-    # --- objective -----------------------------------------------------
-    objective_terms: list[tuple[Variable, float]] = []
-    for (t, a, s), u in u_vars.items():
-        coefficient = lam * coefficients.c1[a, t]
-        if coefficient != 0.0:
-            objective_terms.append((u, coefficient))
-    for a in range(num_attributes):
-        coefficient = lam * coefficients.c2[a]
-        if coefficient != 0.0:
-            for s in range(num_sites):
-                objective_terms.append((y_vars[a, s], coefficient))
-
+    # --- max-load side ------------------------------------------------
     m_var: Variable | None = None
-    if lam < 1.0:
+    if load_side:
         m_var = model.add_variable("m", lower=0.0)
-        objective_terms.append((m_var, 1.0 - lam))
         for s in range(num_sites):
             load_terms: list[tuple[Variable, float]] = []
             for (t, a, s2), u in u_vars.items():
@@ -203,12 +341,10 @@ def build_linearized_model(
 
     # --- Appendix A latency --------------------------------------------
     psi_vars: dict[int, Variable] = {}
-    if latency and parameters.latency_penalty > 0:
+    if latency_active:
         indicators = coefficients.indicators
-        owner = instance.query_transaction
-        frequencies = [query.frequency for query in instance.queries]
         for q_index in np.flatnonzero(indicators.delta > 0):
-            t = owner[q_index]
+            t = instance.query_transaction[q_index]
             updated = np.flatnonzero(indicators.alpha[:, q_index] > 0)
             if updated.size == 0:
                 continue
@@ -230,9 +366,6 @@ def build_linearized_model(
                 LinExpr.from_terms(n_terms) - big_m * psi <= 0,
                 name=f"psi_lb[{q_index}]",
             )
-            objective_terms.append(
-                (psi, lam * parameters.latency_penalty * float(frequencies[q_index]))
-            )
 
     # --- symmetry breaking ----------------------------------------------
     if symmetry_breaking:
@@ -240,7 +373,30 @@ def build_linearized_model(
             for s in range(t + 1, num_sites):
                 model.add_constraint(x_vars[t, s] <= 0, name=f"sym[{t},{s}]")
 
-    model.minimize(LinExpr.from_terms(objective_terms))
+    model.minimize(
+        LinExpr.from_terms(
+            _objective_terms(coefficients, lam, u_vars, y_vars, m_var, psi_vars)
+        )
+    )
+    if cache is not None:
+        cache.store(
+            cache_key,
+            _SkeletonEntry(
+                instance=instance,
+                indicators=coefficients.indicators,
+                load_side=load_side,
+                latency_active=latency_active,
+                need_pair=need_pair,
+                c3=coefficients.c3,
+                c4=coefficients.c4,
+                model=model,
+                x_vars=x_vars,
+                y_vars=y_vars,
+                u_vars=u_vars,
+                m_var=m_var,
+                psi_vars=psi_vars,
+            ),
+        )
     return LinearizedModel(
         model=model,
         coefficients=coefficients,

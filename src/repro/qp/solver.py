@@ -12,7 +12,7 @@ from repro.costmodel.evaluator import SolutionEvaluator
 from repro.exceptions import SolverError, SolverLimitError
 from repro.model.instance import ProblemInstance
 from repro.partition.assignment import PartitioningResult
-from repro.qp.linearize import build_linearized_model
+from repro.qp.linearize import LinearizationCache, build_linearized_model
 from repro.solver.solution import SolutionStatus
 
 #: The paper's MIP tolerance gap (Section 5: 0.1%).
@@ -35,6 +35,7 @@ class QpPartitioner:
         allow_replication: bool = True,
         latency: bool = False,
         symmetry_breaking: bool = True,
+        linearization_cache: LinearizationCache | None = None,
     ):
         if isinstance(instance, CostCoefficients):
             self.coefficients = instance
@@ -55,6 +56,7 @@ class QpPartitioner:
             allow_replication=allow_replication,
             latency=latency,
             symmetry_breaking=symmetry_breaking,
+            cache=linearization_cache,
         )
 
     @property

@@ -12,6 +12,16 @@ probability in the first iterations.
 
 from repro.sa.options import SaOptions
 from repro.sa.annealer import SimulatedAnnealer
+from repro.sa.portfolio import PortfolioResult, RestartOutcome, derive_restart_seeds, run_portfolio
 from repro.sa.solver import SaPartitioner, solve_sa
 
-__all__ = ["SaOptions", "SimulatedAnnealer", "SaPartitioner", "solve_sa"]
+__all__ = [
+    "SaOptions",
+    "SimulatedAnnealer",
+    "SaPartitioner",
+    "solve_sa",
+    "PortfolioResult",
+    "RestartOutcome",
+    "derive_restart_seeds",
+    "run_portfolio",
+]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.exceptions import SolverError
+from repro.exceptions import OptionsError
 
 #: Section 5.1: accept a solution that is WORSE_FRACTION worse with
 #: ACCEPT_PROBABILITY in the first iterations; fixes the initial
@@ -34,7 +34,8 @@ class SaOptions:
     max_outer_loops: int = 60
     #: Stop after this many outer loops without improving the best cost.
     patience: int = 10
-    #: Wall-clock budget in seconds (None = unlimited).
+    #: Wall-clock budget in seconds per annealing run (None = unlimited;
+    #: 0 is legal and exits straight through the collapsed-layout guard).
     time_limit: float | None = None
     #: RNG seed for reproducible runs.
     seed: int | None = None
@@ -55,18 +56,59 @@ class SaOptions:
     #: instead of relocating a random 10% (escapes plateaus on
     #: instances where every query touches most attributes).
     merge_probability: float = 0.15
+    #: Number of independently seeded annealing restarts; the portfolio
+    #: returns the best-of-N incumbent (restart 0 reuses ``seed``, so
+    #: ``restarts=1`` is exactly the single-run behaviour).
+    restarts: int = 1
+    #: Worker slots for running restarts concurrently (1 = in-process
+    #: serial).  The result is deterministic for a fixed seed regardless
+    #: of ``jobs`` — only wall-clock changes.
+    jobs: int = 1
+    #: Wall-clock budget in seconds for the whole restart portfolio
+    #: (None = unlimited).  Restarts still pending when it expires are
+    #: cancelled; running stragglers are cut short via their own
+    #: ``time_limit``.
+    portfolio_time_limit: float | None = None
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.exceptions.OptionsError` on bad options.
+
+        Runs eagerly from ``__post_init__`` (and again from
+        :class:`~repro.sa.solver.SaPartitioner`) so misconfigured runs
+        fail before any annealing starts, not minutes into it.
+        """
         if self.inner_loops < 1:
-            raise SolverError("inner_loops must be >= 1")
+            raise OptionsError("inner_loops must be >= 1")
         if not 0.0 < self.cooling_rate < 1.0:
-            raise SolverError("cooling_rate must be in (0, 1)")
+            raise OptionsError("cooling_rate must be in (0, 1)")
         if not 0.0 < self.move_fraction <= 1.0:
-            raise SolverError("move_fraction must be in (0, 1]")
+            raise OptionsError("move_fraction must be in (0, 1]")
         if self.subsolver not in ("greedy", "exact"):
-            raise SolverError(f"unknown subsolver {self.subsolver!r}")
+            raise OptionsError(f"unknown subsolver {self.subsolver!r}")
         if self.max_outer_loops < 1:
-            raise SolverError("max_outer_loops must be >= 1")
+            raise OptionsError("max_outer_loops must be >= 1")
+        if self.patience < 1:
+            raise OptionsError("patience must be >= 1")
+        if self.time_limit is not None and self.time_limit < 0:
+            raise OptionsError(
+                f"time_limit must be >= 0 seconds, got {self.time_limit}"
+            )
+        if self.exact_time_limit <= 0:
+            raise OptionsError(
+                f"exact_time_limit must be positive, got {self.exact_time_limit}"
+            )
+        if self.restarts < 1:
+            raise OptionsError(f"restarts must be >= 1, got {self.restarts}")
+        if self.jobs < 1:
+            raise OptionsError(f"jobs must be >= 1, got {self.jobs}")
+        if self.portfolio_time_limit is not None and self.portfolio_time_limit <= 0:
+            raise OptionsError(
+                f"portfolio_time_limit must be positive seconds, got "
+                f"{self.portfolio_time_limit}"
+            )
 
 
 #: A configuration tuned for speed, used by the large Table-1 sweeps.

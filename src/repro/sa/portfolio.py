@@ -1,0 +1,301 @@
+"""Multi-start annealing portfolio: best-of-N independently seeded runs.
+
+The paper's SA heuristic is restart-friendly by construction and PR 1
+made per-solution state cheap (one independent
+:class:`~repro.costmodel.incremental.IncrementalEvaluator` per run), so
+a portfolio of ``restarts`` annealing runs is the cheapest way to buy
+solution quality on the Table 1/3 experiment sweeps.  This module runs
+the restarts — serially or across a ``concurrent.futures`` worker pool —
+tracks the global incumbent and returns a deterministic best-of-N
+result:
+
+* restart 0 reuses the master seed itself, so ``restarts=1`` reproduces
+  the single-run trajectory exactly and best-of-N can never be worse
+  than the single run a caller would have done before;
+* restarts 1..N-1 draw pairwise-distinct seeds from a
+  ``numpy.random.SeedSequence`` spawned off the master seed, so the
+  portfolio is reproducible end to end;
+* the incumbent is chosen by ``(objective6, restart_index)``, which does
+  not depend on completion order — for a fixed master seed the result is
+  identical for ``jobs=1`` and ``jobs=8`` (absent time limits, which
+  truncate runs nondeterministically by their nature);
+* ``portfolio_time_limit`` bounds the whole portfolio: restarts not yet
+  started when the budget runs out are cancelled, and running stragglers
+  are cut short through the annealer's own wall-clock guard (every such
+  exit still routes through the collapsed one-site guard, so truncated
+  restarts return valid solutions).
+
+Workers default to processes (the annealing inner loop is Python-bound,
+so threads cannot scale it) with the coefficients shipped once per
+worker; environments that cannot fork/pickle fall back to threads, and
+``jobs=1`` never leaves the calling process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.costmodel.coefficients import CostCoefficients
+from repro.exceptions import SolverError
+from repro.sa.options import SaOptions
+
+
+@dataclass(frozen=True)
+class RestartOutcome:
+    """Result of one annealing restart inside a portfolio."""
+
+    restart: int
+    seed: int | None
+    x: np.ndarray
+    y: np.ndarray
+    objective6: float
+    iterations: int
+    accepted: int
+    accepted_worse: int
+    outer_loops: int
+    wall_time: float
+
+
+@dataclass
+class PortfolioResult:
+    """Best-of-N incumbent plus the per-restart record."""
+
+    x: np.ndarray
+    y: np.ndarray
+    objective6: float
+    best_restart: int
+    executor: str
+    wall_time: float
+    outcomes: list[RestartOutcome] = field(default_factory=list)
+    #: Restarts cancelled by ``portfolio_time_limit`` before starting.
+    cancelled: int = 0
+
+    @property
+    def restart_seeds(self) -> list[int | None]:
+        return [outcome.seed for outcome in self.outcomes]
+
+    @property
+    def restart_objectives(self) -> list[float]:
+        return [outcome.objective6 for outcome in self.outcomes]
+
+
+def derive_restart_seeds(master_seed: int | None, restarts: int) -> list[int | None]:
+    """Seeds for ``restarts`` independent runs under one master seed.
+
+    Restart 0 keeps the master seed itself (so ``restarts=1`` equals the
+    plain single run); the rest are drawn from ``SeedSequence`` children
+    of the master seed and are guaranteed pairwise distinct (and
+    distinct from the master).  With ``master_seed=None`` every restart
+    gets fresh OS entropy and the portfolio is intentionally
+    irreproducible, matching the single-run convention.
+    """
+    if restarts < 1:
+        raise SolverError(f"restarts must be >= 1, got {restarts}")
+    if master_seed is None:
+        entropy = np.random.SeedSequence()
+        seeds: list[int | None] = [None]
+        seen: set[int] = set()
+    else:
+        entropy = np.random.SeedSequence(master_seed)
+        seeds = [int(master_seed)]
+        seen = {int(master_seed)}
+    spawn_key = 0
+    while len(seeds) < restarts:
+        child = np.random.SeedSequence(
+            entropy.entropy, spawn_key=(spawn_key,)
+        )
+        spawn_key += 1
+        value = int(child.generate_state(1, np.uint64)[0])
+        if value in seen:
+            continue
+        seen.add(value)
+        seeds.append(value)
+    return seeds
+
+
+def _restart_options(
+    options: SaOptions, seed: int | None, remaining: float | None
+) -> SaOptions:
+    """Single-run options for one restart under the portfolio budget."""
+    time_limit = options.time_limit
+    if remaining is not None:
+        remaining = max(remaining, 0.0)
+        time_limit = remaining if time_limit is None else min(time_limit, remaining)
+    return replace(
+        options,
+        seed=seed,
+        restarts=1,
+        jobs=1,
+        portfolio_time_limit=None,
+        time_limit=time_limit,
+    )
+
+
+def _run_restart(
+    coefficients: CostCoefficients,
+    num_sites: int,
+    options: SaOptions,
+    restart: int,
+    seed: int | None,
+    deadline: float | None,
+) -> RestartOutcome:
+    """Run one restart (worker side); honours the shared deadline."""
+    from repro.sa.annealer import SimulatedAnnealer
+
+    remaining = None if deadline is None else deadline - time.monotonic()
+    started = time.perf_counter()
+    annealer = SimulatedAnnealer(
+        coefficients, num_sites, _restart_options(options, seed, remaining)
+    )
+    x, y, objective6 = annealer.run()
+    return RestartOutcome(
+        restart=restart,
+        seed=seed,
+        x=x,
+        y=y,
+        objective6=objective6,
+        iterations=annealer.trace.iterations,
+        accepted=annealer.trace.accepted,
+        accepted_worse=annealer.trace.accepted_worse,
+        outer_loops=annealer.trace.outer_loops,
+        wall_time=time.perf_counter() - started,
+    )
+
+
+# -- process-pool plumbing (state shipped once per worker) --------------
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(coefficients: CostCoefficients, num_sites: int, options: SaOptions) -> None:
+    _WORKER_STATE["args"] = (coefficients, num_sites, options)
+
+
+def _run_restart_in_worker(
+    restart: int, seed: int | None, deadline: float | None
+) -> RestartOutcome:
+    coefficients, num_sites, options = _WORKER_STATE["args"]
+    return _run_restart(coefficients, num_sites, options, restart, seed, deadline)
+
+
+def _make_executor(coefficients, num_sites, options, jobs):
+    """Process pool when the platform allows it, threads otherwise."""
+    executor = None
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(coefficients, num_sites, options),
+        )
+        # Surface fork/pickling failures now, not at result time.
+        executor.submit(os.getpid).result(timeout=30)
+        return executor, "process"
+    except Exception as error:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        warnings.warn(
+            f"SA portfolio falling back to threads (GIL-bound; expect "
+            f"little speedup from jobs={jobs}): process pool unavailable "
+            f"({type(error).__name__}: {error})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return ThreadPoolExecutor(max_workers=jobs), "thread"
+
+
+def run_portfolio(
+    coefficients: CostCoefficients,
+    num_sites: int,
+    options: SaOptions | None = None,
+) -> PortfolioResult:
+    """Run the multi-start portfolio and return the best-of-N result."""
+    options = options or SaOptions()
+    options.validate()
+    started = time.perf_counter()
+    seeds = derive_restart_seeds(options.seed, options.restarts)
+    deadline = None
+    if options.portfolio_time_limit is not None:
+        deadline = time.monotonic() + options.portfolio_time_limit
+
+    outcomes: list[RestartOutcome] = []
+    cancelled = 0
+    jobs = min(options.jobs, options.restarts)
+    if jobs <= 1:
+        executor_kind = "serial"
+        for restart, seed in enumerate(seeds):
+            if (
+                restart > 0
+                and deadline is not None
+                and time.monotonic() >= deadline
+            ):
+                cancelled += 1
+                continue
+            outcomes.append(
+                _run_restart(coefficients, num_sites, options, restart, seed, deadline)
+            )
+    else:
+        executor, executor_kind = _make_executor(
+            coefficients, num_sites, options, jobs
+        )
+        with executor:
+            if executor_kind == "process":
+                futures = {
+                    executor.submit(_run_restart_in_worker, restart, seed, deadline): restart
+                    for restart, seed in enumerate(seeds)
+                }
+            else:
+                futures = {
+                    executor.submit(
+                        _run_restart, coefficients, num_sites, options,
+                        restart, seed, deadline,
+                    ): restart
+                    for restart, seed in enumerate(seeds)
+                }
+            pending = set(futures)
+            while pending:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(deadline - time.monotonic(), 0.0)
+                done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcomes.append(future.result())
+                if deadline is not None and time.monotonic() >= deadline:
+                    # Budget spent: cancel restarts that have not started;
+                    # already-running stragglers stop through their own
+                    # wall-clock guard and are still collected (blocking
+                    # from here on — the deadline has done its job).
+                    for future in list(pending):
+                        if future.cancel():
+                            pending.discard(future)
+                            cancelled += 1
+                    deadline = None
+        outcomes.sort(key=lambda outcome: outcome.restart)
+
+    if not outcomes:
+        # Degenerate budget (even restart 0's future got cancelled): run
+        # restart 0 inline with an already-expired deadline, so it exits
+        # straight through the collapsed-layout guard — the caller always
+        # gets a solution back without blowing the spent budget.
+        outcomes.append(
+            _run_restart(
+                coefficients, num_sites, options, 0, seeds[0], time.monotonic()
+            )
+        )
+        cancelled = max(0, cancelled - 1)
+
+    best = min(outcomes, key=lambda outcome: (outcome.objective6, outcome.restart))
+    return PortfolioResult(
+        x=best.x,
+        y=best.y,
+        objective6=best.objective6,
+        best_restart=best.restart,
+        executor=executor_kind,
+        wall_time=time.perf_counter() - started,
+        outcomes=outcomes,
+        cancelled=cancelled,
+    )

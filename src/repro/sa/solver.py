@@ -12,10 +12,16 @@ from repro.model.instance import ProblemInstance
 from repro.partition.assignment import PartitioningResult
 from repro.sa.annealer import SimulatedAnnealer
 from repro.sa.options import SaOptions
+from repro.sa.portfolio import run_portfolio
 
 
 class SaPartitioner:
-    """Simulated-annealing vertical partitioning (the paper's SA solver)."""
+    """Simulated-annealing vertical partitioning (the paper's SA solver).
+
+    With ``options.restarts > 1`` the solve runs a multi-start portfolio
+    (:mod:`repro.sa.portfolio`): best-of-N independently seeded
+    annealing runs, optionally across ``options.jobs`` workers.
+    """
 
     def __init__(
         self,
@@ -37,8 +43,17 @@ class SaPartitioner:
             raise SolverError(f"need at least one site, got {num_sites}")
         self.num_sites = num_sites
         self.options = options or SaOptions()
+        # Fail on bad options here, before any annealing starts (raises
+        # OptionsError; dataclasses.replace-built options re-validate in
+        # __post_init__, but options coming from deserialisation paths
+        # may not have).
+        self.options.validate()
 
     def solve(self) -> PartitioningResult:
+        if self.options.restarts > 1 or self.options.portfolio_time_limit is not None:
+            # A portfolio budget on a single restart still routes through
+            # the portfolio so the deadline is honoured.
+            return self._solve_portfolio()
         started = time.perf_counter()
         annealer = SimulatedAnnealer(self.coefficients, self.num_sites, self.options)
         x, y, objective6 = annealer.run()
@@ -63,6 +78,40 @@ class SaPartitioner:
             },
         )
 
+    def _solve_portfolio(self) -> PartitioningResult:
+        portfolio = run_portfolio(self.coefficients, self.num_sites, self.options)
+        best = next(
+            outcome
+            for outcome in portfolio.outcomes
+            if outcome.restart == portfolio.best_restart
+        )
+        evaluator = SolutionEvaluator(self.coefficients)
+        return PartitioningResult(
+            coefficients=self.coefficients,
+            x=portfolio.x,
+            y=portfolio.y,
+            objective=evaluator.objective4(portfolio.x, portfolio.y),
+            solver="sa",
+            wall_time=portfolio.wall_time,
+            proven_optimal=False,
+            metadata={
+                "objective6": portfolio.objective6,
+                "iterations": sum(o.iterations for o in portfolio.outcomes),
+                "accepted": sum(o.accepted for o in portfolio.outcomes),
+                "accepted_worse": sum(o.accepted_worse for o in portfolio.outcomes),
+                "outer_loops": best.outer_loops,
+                "disjoint": self.options.disjoint,
+                "subsolver": self.options.subsolver,
+                "restarts": self.options.restarts,
+                "jobs": self.options.jobs,
+                "executor": portfolio.executor,
+                "best_restart": portfolio.best_restart,
+                "restart_seeds": portfolio.restart_seeds,
+                "restart_objectives": portfolio.restart_objectives,
+                "cancelled_restarts": portfolio.cancelled,
+            },
+        )
+
 
 def solve_sa(
     instance: ProblemInstance,
@@ -70,11 +119,24 @@ def solve_sa(
     parameters: CostParameters | None = None,
     options: SaOptions | None = None,
     seed: int | None = None,
+    restarts: int | None = None,
+    jobs: int | None = None,
 ) -> PartitioningResult:
-    """One-call convenience wrapper around :class:`SaPartitioner`."""
+    """One-call convenience wrapper around :class:`SaPartitioner`.
+
+    ``seed``, ``restarts`` and ``jobs`` override the corresponding
+    :class:`SaOptions` fields when given.
+    """
+    overrides: dict[str, int] = {}
     if seed is not None:
+        overrides["seed"] = seed
+    if restarts is not None:
+        overrides["restarts"] = restarts
+    if jobs is not None:
+        overrides["jobs"] = jobs
+    if overrides:
         from dataclasses import replace
 
-        options = replace(options or SaOptions(), seed=seed)
+        options = replace(options or SaOptions(), **overrides)
     partitioner = SaPartitioner(instance, num_sites, parameters=parameters, options=options)
     return partitioner.solve()

@@ -12,6 +12,21 @@ Both respect the read co-location constraint: with ``x`` fixed, every
 attribute read by a transaction is forced onto that transaction's site;
 with ``y`` fixed, transactions may only go to sites holding all the
 attributes they read.
+
+The balance-aware (``lambda < 1``) placements are greedy scans whose
+every decision depends on the loads left by the previous one, so they
+cannot be collapsed into one matrix expression without changing the
+result.  They ship in two pinned-identical flavours instead:
+
+* the *loop* path (``vectorized=False``): the reference — one numpy
+  argmin per item, exactly the historical semantics;
+* the *fast* path (default): candidate masks, orderings and gathers are
+  built vectorised up front, and the sequential scan itself runs over
+  plain C-double scalars with an incrementally maintained running max
+  (exact, because loads only grow), touching numpy once more for the
+  final scatter.  Same IEEE operations in the same order — layouts are
+  bitwise equal (pinned in ``tests/test_sa_subsolve.py``), only the
+  per-iteration interpreter and allocator overhead is gone.
 """
 
 from __future__ import annotations
@@ -25,11 +40,23 @@ from repro.solver.model import MipModel
 
 
 class SubproblemSolver:
-    """Shared precomputation for the two sub-problems."""
+    """Shared precomputation for the two sub-problems.
 
-    def __init__(self, coefficients: CostCoefficients, num_sites: int):
+    ``vectorized=False`` selects the reference loop implementations of
+    the balance-aware placements (useful as a cross-check and for
+    benchmarking the fast path against it).
+    """
+
+    def __init__(
+        self,
+        coefficients: CostCoefficients,
+        num_sites: int,
+        *,
+        vectorized: bool = True,
+    ):
         self.coefficients = coefficients
         self.num_sites = num_sites
+        self.vectorized = vectorized
         self.lam = coefficients.parameters.load_balance_lambda
         self.phi = coefficients.phi_bool.astype(float)  # (|A|, |T|)
         self.c1 = coefficients.c1
@@ -85,36 +112,122 @@ class SubproblemSolver:
                 # Balance-aware covering: charge each site the exact
                 # increase of the max load, sequentially (heaviest
                 # attributes first so they anchor the balance).
-                loads = (load_weight * y).sum(axis=0)
                 order = uncovered[
                     np.argsort(-load_weight[uncovered].max(axis=1))
                 ]
-                for a in order:
-                    current_max = loads.max()
-                    delta = np.maximum(loads + load_weight[a], current_max)
-                    delta -= current_max
-                    score = self.lam * k[a] + (1.0 - self.lam) * delta
-                    site = int(np.argmin(score))
-                    y[a, site] = True
-                    loads[site] += load_weight[a, site]
+                if self.vectorized:
+                    self._cover_balance_fast(y, k, load_weight, order)
+                else:
+                    self._cover_balance_loop(y, k, load_weight, order)
 
         candidates = np.argwhere((k < 0) & ~y)
         if candidates.size:
             if self.lam >= 1.0:
                 y[candidates[:, 0], candidates[:, 1]] = True
+            elif self.vectorized:
+                self._negative_balance_fast(y, k, load_weight, candidates)
             else:
-                loads = (load_weight * y).sum(axis=0)
-                order = np.argsort(k[candidates[:, 0], candidates[:, 1]])
-                for idx in order:
-                    a, s = candidates[idx]
-                    gain = k[a, s]
-                    current_max = loads.max()
-                    new_max = max(current_max, loads[s] + load_weight[a, s])
-                    delta = gain + (1.0 - self.lam) * (new_max - current_max)
-                    if delta < 0:
-                        y[a, s] = True
-                        loads[s] += load_weight[a, s]
+                self._negative_balance_loop(y, k, load_weight, candidates)
         return y
+
+    # -- balance-aware covering (lambda < 1) ---------------------------
+    def _cover_balance_loop(
+        self, y: np.ndarray, k: np.ndarray, load_weight: np.ndarray, order: np.ndarray
+    ) -> None:
+        """Reference loop: one numpy argmin per uncovered attribute."""
+        loads = (load_weight * y).sum(axis=0)
+        for a in order:
+            current_max = loads.max()
+            delta = np.maximum(loads + load_weight[a], current_max)
+            delta -= current_max
+            score = self.lam * k[a] + (1.0 - self.lam) * delta
+            site = int(np.argmin(score))
+            y[a, site] = True
+            loads[site] += load_weight[a, site]
+
+    def _cover_balance_fast(
+        self, y: np.ndarray, k: np.ndarray, load_weight: np.ndarray, order: np.ndarray
+    ) -> None:
+        """Scalar scan over pregathered rows; bitwise equal to the loop."""
+        loads = (load_weight * y).sum(axis=0).tolist()
+        current_max = max(loads)
+        lam = self.lam
+        balance = 1.0 - lam
+        sites = range(self.num_sites)
+        k_rows = k[order].tolist()
+        weight_rows = load_weight[order].tolist()
+        chosen: list[int] = []
+        for k_row, weight_row in zip(k_rows, weight_rows):
+            best_site = 0
+            best_score = None
+            for s in sites:
+                lifted = loads[s] + weight_row[s]
+                overflow = lifted - current_max if lifted > current_max else 0.0
+                score = lam * k_row[s] + balance * overflow
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_site = s
+            chosen.append(best_site)
+            lifted = loads[best_site] + weight_row[best_site]
+            loads[best_site] = lifted
+            # Loads only grow, so the running max is exactly loads.max().
+            if lifted > current_max:
+                current_max = lifted
+        y[order, chosen] = True
+
+    # -- cost-negative replicas (lambda < 1) ---------------------------
+    def _negative_balance_loop(
+        self,
+        y: np.ndarray,
+        k: np.ndarray,
+        load_weight: np.ndarray,
+        candidates: np.ndarray,
+    ) -> None:
+        """Reference loop over candidates in increasing-k order."""
+        loads = (load_weight * y).sum(axis=0)
+        order = np.argsort(k[candidates[:, 0], candidates[:, 1]])
+        for idx in order:
+            a, s = candidates[idx]
+            gain = k[a, s]
+            current_max = loads.max()
+            new_max = max(current_max, loads[s] + load_weight[a, s])
+            delta = gain + (1.0 - self.lam) * (new_max - current_max)
+            if delta < 0:
+                y[a, s] = True
+                loads[s] += load_weight[a, s]
+
+    def _negative_balance_fast(
+        self,
+        y: np.ndarray,
+        k: np.ndarray,
+        load_weight: np.ndarray,
+        candidates: np.ndarray,
+    ) -> None:
+        """Scalar scan over pregathered candidates; bitwise equal."""
+        loads = (load_weight * y).sum(axis=0).tolist()
+        current_max = max(loads)
+        balance = 1.0 - self.lam
+        a_all = candidates[:, 0]
+        s_all = candidates[:, 1]
+        gains = k[a_all, s_all]
+        order = np.argsort(gains)
+        a_list = a_all[order].tolist()
+        s_list = s_all[order].tolist()
+        gain_list = gains[order].tolist()
+        weight_list = load_weight[a_all, s_all][order].tolist()
+        added_a: list[int] = []
+        added_s: list[int] = []
+        for a, s, gain, weight in zip(a_list, s_list, gain_list, weight_list):
+            lifted = loads[s] + weight
+            overflow = lifted - current_max if lifted > current_max else 0.0
+            if gain + balance * overflow < 0:
+                added_a.append(a)
+                added_s.append(s)
+                loads[s] = lifted
+                if lifted > current_max:
+                    current_max = lifted
+        if added_a:
+            y[added_a, added_s] = True
 
     def _disjoint_y(
         self, k: np.ndarray, load_weight: np.ndarray, forced: np.ndarray
@@ -136,15 +249,24 @@ class SubproblemSolver:
         y[has_force] = forced[has_force]
         free = np.flatnonzero(~has_force)
         if free.size:
-            loads = (load_weight * y).sum(axis=0)
-            for a in free:
-                score = self.lam * k[a] + (1.0 - self.lam) * (
-                    np.maximum(loads + load_weight[a], loads.max()) - loads.max()
-                )
-                site = int(np.argmin(score))
-                y[a, site] = True
-                loads[site] += load_weight[a, site]
+            if self.vectorized:
+                self._disjoint_free_fast(y, k, load_weight, free)
+            else:
+                self._disjoint_free_loop(y, k, load_weight, free)
         return y
+
+    def _disjoint_free_loop(
+        self, y: np.ndarray, k: np.ndarray, load_weight: np.ndarray, free: np.ndarray
+    ) -> None:
+        # Same scores as balance-aware covering, over the free set.
+        self._cover_balance_loop(y, k, load_weight, free)
+
+    def _disjoint_free_fast(
+        self, y: np.ndarray, k: np.ndarray, load_weight: np.ndarray, free: np.ndarray
+    ) -> None:
+        # Identical scalar scan: the disjoint free placement computes the
+        # same scores as balance-aware covering, just over the free set.
+        self._cover_balance_fast(y, k, load_weight, free)
 
     def optimize_y_exact(
         self, x: np.ndarray, disjoint: bool = False, time_limit: float = 30.0
@@ -257,9 +379,28 @@ class SubproblemSolver:
             x[np.arange(num_transactions), masked.argmin(axis=1)] = True
             return x
 
+        order = np.argsort(-read_load.max(axis=1))
+        if self.vectorized:
+            return self._place_x_balance_fast(
+                cost, read_load, missing, allowed, static_load, order
+            )
+        return self._place_x_balance_loop(
+            cost, read_load, missing, allowed, static_load, order
+        )
+
+    def _place_x_balance_loop(
+        self,
+        cost: np.ndarray,
+        read_load: np.ndarray,
+        missing: np.ndarray,
+        allowed: np.ndarray,
+        static_load: np.ndarray,
+        order: np.ndarray,
+    ) -> np.ndarray:
+        """Reference LPT loop: one numpy argmin per transaction."""
+        num_transactions = cost.shape[0]
         x = np.zeros((num_transactions, self.num_sites), dtype=bool)
         loads = static_load.copy()
-        order = np.argsort(-read_load.max(axis=1))
         for t in order:
             if allowed[t].any():
                 candidate_sites = np.flatnonzero(allowed[t])
@@ -275,6 +416,57 @@ class SubproblemSolver:
             best = candidate_sites[np.argmin(score)]
             x[t, best] = True
             loads[best] += read_load[t, best]
+        return x
+
+    def _place_x_balance_fast(
+        self,
+        cost: np.ndarray,
+        read_load: np.ndarray,
+        missing: np.ndarray,
+        allowed: np.ndarray,
+        static_load: np.ndarray,
+        order: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised candidate masks + scalar LPT scan; bitwise equal."""
+        num_transactions = cost.shape[0]
+        x = np.zeros((num_transactions, self.num_sites), dtype=bool)
+        candidate_mask = allowed
+        infeasible = np.flatnonzero(~allowed.any(axis=1))
+        if infeasible.size:
+            candidate_mask = allowed.copy()
+            candidate_mask[infeasible] = missing[infeasible] == missing[
+                infeasible
+            ].min(axis=1, keepdims=True)
+        loads = np.asarray(static_load, dtype=float).tolist()
+        current_max = max(loads)
+        balance = 1.0 - self.lam
+        sites = range(self.num_sites)
+        mask_rows = candidate_mask.tolist()
+        cost_rows = cost.tolist()
+        read_rows = read_load.tolist()
+        order_list = order.tolist()
+        chosen: list[int] = []
+        for t in order_list:
+            mask_row = mask_rows[t]
+            cost_row = cost_rows[t]
+            read_row = read_rows[t]
+            best_site = 0
+            best_score = None
+            for s in sites:
+                if not mask_row[s]:
+                    continue
+                lifted = loads[s] + read_row[s]
+                overflow = lifted - current_max if lifted > current_max else 0.0
+                score = cost_row[s] + balance * overflow
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_site = s
+            chosen.append(best_site)
+            lifted = loads[best_site] + read_row[best_site]
+            loads[best_site] = lifted
+            if lifted > current_max:
+                current_max = lifted
+        x[order_list, chosen] = True
         return x
 
     def optimize_x_exact(self, y: np.ndarray, time_limit: float = 30.0) -> np.ndarray:

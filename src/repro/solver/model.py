@@ -104,6 +104,23 @@ class MipModel:
         self.constraints.append(constraint)
         return constraint
 
+    def clone_structure(self, name: str | None = None) -> "MipModel":
+        """A new model sharing this model's variables and constraints.
+
+        The clone starts with an empty objective; variables and
+        constraints are shared by reference (they are not mutated by
+        solving), while the containers are copied so later additions to
+        either model stay local to it.  Used to re-price a model whose
+        constraint skeleton is unchanged — e.g. across the points of a
+        parameter sweep — without rebuilding thousands of expression
+        objects.
+        """
+        clone = MipModel(name or self.name)
+        clone.variables = list(self.variables)
+        clone.constraints = list(self.constraints)
+        clone._names = set(self._names)
+        return clone
+
     def minimize(self, expression: LinExpr | Variable) -> None:
         self._objective = expression.to_expr() if isinstance(expression, Variable) else expression
         self._sense = ObjectiveSense.MINIMIZE

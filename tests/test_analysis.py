@@ -86,6 +86,49 @@ class TestLambdaSweep:
         assert balanced >= pure - 1e-6
 
 
+class TestSweepCaching:
+    def test_cached_sweep_matches_pointwise_solves(self, instance):
+        """The sweep-level caches must not change any sweep point: the
+        series equals solving each point from scratch."""
+        from repro.costmodel.coefficients import build_coefficients
+        from repro.costmodel.config import CostParameters
+        from repro.qp.solver import QpPartitioner
+
+        penalties = (0.0, 4.0, 16.0)
+        series = penalty_sweep(
+            instance, num_sites=2, penalties=penalties, time_limit=15
+        )
+        for penalty, point in zip(penalties, series.points):
+            coefficients = build_coefficients(
+                instance, CostParameters(network_penalty=penalty)
+            )
+            direct = QpPartitioner(coefficients, 2).solve(
+                time_limit=15, backend="scipy"
+            )
+            assert point.objective == pytest.approx(direct.objective, rel=1e-9)
+
+    def test_sa_sweep_unchanged_by_coefficient_cache(self, instance):
+        """SA trajectories are chaotic in their inputs, so this pins the
+        cached coefficients feeding them bitwise: same seed, same
+        objective as a from-scratch solve."""
+        from repro.costmodel.coefficients import build_coefficients
+        from repro.costmodel.config import CostParameters
+        from repro.sa.options import SaOptions
+        from repro.sa.solver import SaPartitioner
+
+        series = penalty_sweep(
+            instance, num_sites=2, penalties=(8.0,), solver="sa", seed=3
+        )
+        coefficients = build_coefficients(
+            instance, CostParameters(network_penalty=8.0)
+        )
+        direct = SaPartitioner(
+            coefficients, 2,
+            options=SaOptions(inner_loops=10, max_outer_loops=20, seed=3),
+        ).solve()
+        assert series.points[0].objective == direct.objective
+
+
 class TestReplicationPriceSweep:
     def test_ratio_rows(self, instance):
         rows = replication_price_sweep(

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.coefficients import CoefficientCache, build_coefficients
 from repro.costmodel.config import CostParameters, WriteAccounting
 from repro.costmodel.evaluator import SolutionEvaluator
 from repro.exceptions import SolverError
-from repro.qp.linearize import build_linearized_model
+from repro.qp.linearize import LinearizationCache, build_linearized_model
 from tests.conftest import small_random_instance
 
 
@@ -73,6 +73,120 @@ class TestConstruction:
         assert not any(
             c.name.startswith("sym[") for c in unbroken.model.constraints
         )
+
+
+def _assert_same_arrays(first, second):
+    """Two models must convert to identical standard arrays."""
+    a = first.model.to_standard_arrays()
+    b = second.model.to_standard_arrays()
+    np.testing.assert_array_equal(a.objective, b.objective)
+    assert (a.matrix != b.matrix).nnz == 0
+    np.testing.assert_array_equal(a.rhs, b.rhs)
+    assert a.senses == b.senses
+    np.testing.assert_array_equal(a.lower, b.lower)
+    np.testing.assert_array_equal(a.upper, b.upper)
+    np.testing.assert_array_equal(a.integrality, b.integrality)
+
+
+class TestLinearizationCache:
+    """The sweep-level skeleton cache must never change the model."""
+
+    def test_penalty_sweep_hits_and_matches_uncached(self):
+        instance = small_random_instance(4)
+        coefficient_cache = CoefficientCache(instance)
+        cache = LinearizationCache()
+        for penalty in (1.0, 4.0, 16.0, 64.0):
+            coefficients = coefficient_cache.coefficients(
+                CostParameters(network_penalty=penalty)
+            )
+            cached = build_linearized_model(coefficients, 2, cache=cache)
+            plain = build_linearized_model(coefficients, 2)
+            _assert_same_arrays(cached, plain)
+        assert cache.hits == 3  # first point builds, the rest re-price
+
+    def test_lambda_regime_change_misses(self):
+        """Crossing lambda = 1 adds/removes the load side; the cache
+        must rebuild, not reuse."""
+        instance = small_random_instance(4)
+        coefficient_cache = CoefficientCache(instance)
+        cache = LinearizationCache()
+        for lam in (1.0, 0.5):
+            coefficients = coefficient_cache.coefficients(
+                CostParameters(load_balance_lambda=lam)
+            )
+            cached = build_linearized_model(coefficients, 2, cache=cache)
+            plain = build_linearized_model(coefficients, 2)
+            assert (cached.m_var is None) == (lam >= 1.0)
+            _assert_same_arrays(cached, plain)
+        assert cache.hits == 0
+
+    def test_different_instance_misses(self):
+        cache = LinearizationCache()
+        for seed in (4, 5):
+            coefficients = build_coefficients(
+                small_random_instance(seed), CostParameters()
+            )
+            cached = build_linearized_model(coefficients, 2, cache=cache)
+            plain = build_linearized_model(coefficients, 2)
+            _assert_same_arrays(cached, plain)
+        assert cache.hits == 0
+
+    def test_cached_solutions_identical(self):
+        """Solving the re-priced clone gives the same optimum."""
+        instance = small_random_instance(1)
+        coefficient_cache = CoefficientCache(instance)
+        cache = LinearizationCache()
+        for penalty in (2.0, 8.0):
+            coefficients = coefficient_cache.coefficients(
+                CostParameters(network_penalty=penalty)
+            )
+            cached = build_linearized_model(coefficients, 2, cache=cache)
+            plain = build_linearized_model(coefficients, 2)
+            solved_cached = cached.model.solve(backend="scipy", gap=1e-9)
+            solved_plain = plain.model.solve(backend="scipy", gap=1e-9)
+            assert solved_cached.objective == pytest.approx(
+                solved_plain.objective, rel=1e-9
+            )
+
+    def test_latency_models_cacheable(self):
+        instance = small_random_instance(2)
+        indicators = None
+        cache = LinearizationCache()
+        coefficient_cache = CoefficientCache(instance, indicators)
+        for penalty in (5.0, 10.0):
+            coefficients = coefficient_cache.coefficients(
+                CostParameters(latency_penalty=penalty)
+            )
+            cached = build_linearized_model(coefficients, 2, latency=True, cache=cache)
+            plain = build_linearized_model(coefficients, 2, latency=True)
+            assert cached.psi_vars.keys() == plain.psi_vars.keys()
+            _assert_same_arrays(cached, plain)
+        assert cache.hits == 1
+
+
+class TestCoefficientCache:
+    def test_bitwise_identical_to_uncached(self):
+        instance = small_random_instance(0)
+        coefficient_cache = CoefficientCache(instance)
+        for parameters in (
+            CostParameters(),
+            CostParameters(network_penalty=0.0),
+            CostParameters(network_penalty=32.0, load_balance_lambda=0.5),
+            CostParameters(write_accounting=WriteAccounting.NO_ATTRIBUTES),
+        ):
+            cached = coefficient_cache.coefficients(parameters)
+            plain = build_coefficients(instance, parameters)
+            for name in ("c1", "c2", "c3", "c4", "weights"):
+                np.testing.assert_array_equal(
+                    getattr(cached, name), getattr(plain, name)
+                )
+
+    def test_same_parameters_share_object(self):
+        instance = small_random_instance(0)
+        coefficient_cache = CoefficientCache(instance)
+        first = coefficient_cache.coefficients(CostParameters(network_penalty=8.0))
+        second = coefficient_cache.coefficients(CostParameters(network_penalty=8.0))
+        assert first is second
 
 
 class TestSolutionConsistency:

@@ -158,6 +158,114 @@ class TestOptimizeX:
         )
 
 
+class TestFastMatchesLoop:
+    """The default fast balance-aware placements must be *bitwise* equal
+    to the reference loop path (``vectorized=False``) — same IEEE
+    operations in the same order, only the per-iteration overhead gone."""
+
+    @pytest.mark.parametrize("lam", [0.3, 0.5, 0.9])
+    @pytest.mark.parametrize("num_sites", [2, 4])
+    def test_optimize_y_bitwise_equal(self, lam, num_sites):
+        for seed in range(4):
+            instance = small_random_instance(seed)
+            coefficients = build_coefficients(
+                instance, CostParameters(load_balance_lambda=lam)
+            )
+            fast = SubproblemSolver(coefficients, num_sites)
+            loop = SubproblemSolver(coefficients, num_sites, vectorized=False)
+            rng = np.random.default_rng(seed)
+            x = random_transaction_placement(
+                coefficients.num_transactions, num_sites, rng
+            )
+            np.testing.assert_array_equal(
+                fast.optimize_y_greedy(x), loop.optimize_y_greedy(x)
+            )
+
+    @pytest.mark.parametrize("lam", [0.3, 0.5, 0.9])
+    @pytest.mark.parametrize("num_sites", [2, 4])
+    def test_optimize_x_bitwise_equal(self, lam, num_sites):
+        for seed in range(4):
+            instance = small_random_instance(seed)
+            coefficients = build_coefficients(
+                instance, CostParameters(load_balance_lambda=lam)
+            )
+            fast = SubproblemSolver(coefficients, num_sites)
+            loop = SubproblemSolver(coefficients, num_sites, vectorized=False)
+            rng = np.random.default_rng(seed + 20)
+            x0 = random_transaction_placement(
+                coefficients.num_transactions, num_sites, rng
+            )
+            y = fast.optimize_y_greedy(x0)
+            np.testing.assert_array_equal(
+                fast.optimize_x_greedy(y), loop.optimize_x_greedy(y)
+            )
+
+    @pytest.mark.parametrize("lam", [0.5, 1.0])
+    def test_disjoint_bitwise_equal(self, lam):
+        for seed in range(4):
+            instance = small_random_instance(seed)
+            coefficients = build_coefficients(
+                instance, CostParameters(load_balance_lambda=lam)
+            )
+            fast = SubproblemSolver(coefficients, 3)
+            loop = SubproblemSolver(coefficients, 3, vectorized=False)
+            x = np.zeros((coefficients.num_transactions, 3), dtype=bool)
+            x[:, seed % 3] = True  # co-located -> disjoint feasible
+            np.testing.assert_array_equal(
+                fast.optimize_y_greedy(x, disjoint=True),
+                loop.optimize_y_greedy(x, disjoint=True),
+            )
+
+    def test_negative_candidate_branch_bitwise_equal(self):
+        """Synthetic ``k`` with many negative entries exercises the
+        cost-negative replica scan (real instances often have none)."""
+        instance = small_random_instance(1)
+        coefficients = build_coefficients(
+            instance, CostParameters(load_balance_lambda=0.5)
+        )
+        num_sites = 3
+        fast = SubproblemSolver(coefficients, num_sites)
+        loop = SubproblemSolver(coefficients, num_sites, vectorized=False)
+        rng = np.random.default_rng(0)
+        num_attributes = coefficients.num_attributes
+        x = random_transaction_placement(
+            coefficients.num_transactions, num_sites, rng
+        )
+        forced = fast.forced_y(x)
+        for trial in range(5):
+            k = rng.normal(scale=50.0, size=(num_attributes, num_sites))
+            load_weight = rng.uniform(0.0, 30.0, size=(num_attributes, num_sites))
+            assert (k < 0).sum() > 0
+            np.testing.assert_array_equal(
+                fast.optimize_y_greedy(
+                    x, k=k, load_weight=load_weight, forced=forced
+                ),
+                loop.optimize_y_greedy(
+                    x, k=k, load_weight=load_weight, forced=forced
+                ),
+            )
+
+    def test_tie_break_prefers_first_site(self):
+        """Equal scores must resolve to the lowest site index on both
+        paths (the numpy argmin convention)."""
+        instance = small_random_instance(2)
+        coefficients = build_coefficients(
+            instance, CostParameters(load_balance_lambda=0.5)
+        )
+        num_sites = 4
+        fast = SubproblemSolver(coefficients, num_sites)
+        loop = SubproblemSolver(coefficients, num_sites, vectorized=False)
+        num_attributes = coefficients.num_attributes
+        x = np.zeros((coefficients.num_transactions, num_sites), dtype=bool)
+        x[:, 0] = True
+        forced = fast.forced_y(x)
+        k = np.zeros((num_attributes, num_sites))  # all scores tie
+        load_weight = np.ones((num_attributes, num_sites))
+        fast_y = fast.optimize_y_greedy(x, k=k, load_weight=load_weight, forced=forced)
+        loop_y = loop.optimize_y_greedy(x, k=k, load_weight=load_weight, forced=forced)
+        np.testing.assert_array_equal(fast_y, loop_y)
+
+
 class TestPrecomputedInputs:
     """The keyword-only precomputed inputs (fed by the incremental
     evaluator) must reproduce the dense computation exactly."""
