@@ -4,17 +4,17 @@ Run with:  python examples/quickstart.py
 """
 
 from repro import (
+    Advisor,
     CostParameters,
     ProblemInstance,
     Query,
     SchemaBuilder,
+    SolveRequest,
     Transaction,
     Workload,
     build_coefficients,
     render_layout,
     single_site_partitioning,
-    solve_qp,
-    solve_sa,
     split_update,
 )
 
@@ -83,11 +83,18 @@ def main() -> None:
     baseline = single_site_partitioning(coefficients)
     print(f"single-site cost        : {baseline.objective:.0f} bytes/unit")
 
-    sa = solve_sa(instance, num_sites=2, parameters=parameters, seed=0)
+    # One Advisor serves every request and shares its caches between them.
+    advisor = Advisor()
+    sa = advisor.advise(SolveRequest(
+        instance, num_sites=2, parameters=parameters, strategy="sa", seed=0,
+    )).result
     print(f"SA  (2 sites)           : {sa.objective:.0f} "
           f"({100 * (1 - sa.objective / baseline.objective):.1f}% less)")
 
-    qp = solve_qp(instance, num_sites=2, parameters=parameters, time_limit=30)
+    qp = advisor.advise(SolveRequest(
+        instance, num_sites=2, parameters=parameters, strategy="qp",
+        time_limit=30,
+    )).result
     print(f"QP  (2 sites, optimal)  : {qp.objective:.0f} "
           f"({100 * (1 - qp.objective / baseline.objective):.1f}% less)")
 

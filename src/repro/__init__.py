@@ -10,22 +10,29 @@ Public API
 ----------
 Model a schema and workload (:class:`SchemaBuilder`, :class:`Query`,
 :class:`Transaction`, :class:`Workload`, :class:`ProblemInstance`),
-choose cost parameters (:class:`CostParameters`), and partition with
-either the optimal QP solver (:func:`solve_qp`) or the scalable
-simulated-annealing heuristic (:func:`solve_sa`). Results are
-:class:`PartitioningResult` objects with full cost breakdowns and
-Table-4-style layout rendering (:func:`render_layout`).
+choose cost parameters (:class:`CostParameters`), then describe the
+solve as a :class:`SolveRequest` and serve it with :func:`advise` — the
+``"auto"`` strategy picks the optimal QP solver or the scalable
+simulated-annealing heuristic from the model-size estimate, or name any
+registered strategy explicitly (``"qp"``, ``"sa"``, ``"sa-portfolio"``,
+the baselines, or your own via :func:`register_solver`).  Batches go
+through :class:`Advisor` (``advise_many``), which shares coefficient and
+MIP-skeleton caches across requests.  Reports carry the underlying
+:class:`PartitioningResult` with full cost breakdowns and Table-4-style
+layout rendering (:func:`render_layout`).  The pre-API one-call wrappers
+(:func:`solve_qp`, :func:`solve_sa`) remain as thin shims over
+:func:`advise`.
 
 >>> from repro import SchemaBuilder, Query, Transaction, Workload
->>> from repro import ProblemInstance, solve_sa
+>>> from repro import ProblemInstance, SolveRequest, advise
 >>> schema = (SchemaBuilder("shop")
 ...           .table("Users", id=4, name=16, bio=200)
 ...           .build())
 >>> workload = Workload([Transaction("Login", (
 ...     Query.read("getUser", ["Users.id", "Users.name"]),))])
 >>> instance = ProblemInstance(schema, workload)
->>> result = solve_sa(instance, num_sites=2, seed=0)
->>> result.objective <= 220.0
+>>> report = advise(SolveRequest(instance, num_sites=2, seed=0))
+>>> report.objective <= 220.0
 True
 """
 
@@ -70,8 +77,18 @@ from repro.instances import (
 )
 from repro.stats import QueryEvent, TraceCollector, reestimate_instance
 from repro.analysis import penalty_sweep, sites_sweep, lambda_sweep
+from repro.api import (
+    Advisor,
+    SolveReport,
+    SolveRequest,
+    SolverRegistry,
+    advise,
+    advise_many,
+    default_registry,
+    register_solver,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
@@ -114,5 +131,13 @@ __all__ = [
     "penalty_sweep",
     "sites_sweep",
     "lambda_sweep",
+    "Advisor",
+    "SolveReport",
+    "SolveRequest",
+    "SolverRegistry",
+    "advise",
+    "advise_many",
+    "default_registry",
+    "register_solver",
     "__version__",
 ]

@@ -1,29 +1,30 @@
 """Parameter sweeps over the cost model.
 
-Every sweep reuses a :class:`SweepCaches` bundle across its points: the
+Every sweep serves its points through one sweep-level
+:class:`~repro.api.Advisor` (wrapped in :class:`SweepCaches`): the
 instance's indicators/weights feed a
 :class:`~repro.costmodel.coefficients.CoefficientCache` (coefficients
 are assembled with exactly the uncached arithmetic, so results are
 bitwise identical), and the QP points share a
 :class:`~repro.qp.linearize.LinearizationCache` so
 ``build_linearized_model`` re-prices the cached constraint skeleton
-instead of rebuilding every variable and constraint from scratch.
+instead of rebuilding every variable and constraint from scratch.  The
+``solver`` argument of each sweep is a registry strategy name, so
+user-registered strategies sweep exactly like the built-ins.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Sequence
 
-from repro.costmodel.coefficients import CoefficientCache
+from repro.api.advisor import Advisor
+from repro.api.request import SolveRequest
 from repro.costmodel.config import CostParameters
 from repro.exceptions import SolverLimitError
 from repro.model.instance import ProblemInstance
 from repro.partition.assignment import PartitioningResult, single_site_partitioning
-from repro.qp.linearize import LinearizationCache
-from repro.qp.solver import QpPartitioner
 from repro.sa.options import SaOptions
-from repro.sa.solver import SaPartitioner
 
 
 @dataclass(frozen=True)
@@ -70,18 +71,22 @@ class SweepSeries:
 
 
 class SweepCaches:
-    """Per-sweep cache bundle: coefficients and QP model skeletons.
+    """Per-sweep serving bundle: one advisor shared by every point.
 
-    ``skeletons=False`` drops the linearization cache — used by sweeps
-    whose points can never share a skeleton (``sites_sweep`` changes
-    ``num_sites`` every point), where caching would only retain dead
-    models for the sweep's lifetime.
+    ``skeletons=False`` disables the linearization cache (capacity 0) —
+    used by sweeps whose points can never share a skeleton
+    (``sites_sweep`` changes ``num_sites`` every point), where caching
+    would only retain dead models for the sweep's lifetime.
     """
 
     def __init__(self, instance: ProblemInstance, skeletons: bool = True):
-        self.coefficients = CoefficientCache(instance)
-        self.linearization: LinearizationCache | None = (
-            LinearizationCache() if skeletons else None
+        self.advisor = (
+            Advisor() if skeletons else Advisor(linearization_capacity=0)
+        )
+        self.instance = instance
+        self.coefficients = self.advisor.coefficient_cache(instance)
+        self.linearization = (
+            self.advisor.linearization_cache if skeletons else None
         )
 
 
@@ -94,21 +99,49 @@ def _solve(
     seed: int,
     sa_options: SaOptions | None = None,
 ) -> PartitioningResult:
-    coefficients = caches.coefficients.coefficients(parameters)
     if num_sites == 1:
-        return single_site_partitioning(coefficients)
+        return single_site_partitioning(
+            caches.coefficients.coefficients(parameters)
+        )
     if solver == "qp":
-        return QpPartitioner(
-            coefficients, num_sites, linearization_cache=caches.linearization
-        ).solve(time_limit=time_limit, backend="scipy")
-    options = sa_options or SaOptions(inner_loops=10, max_outer_loops=20)
-    if options.seed is None:
-        # The sweep-level seed fills in only when the caller's options
-        # don't pin one already.
-        from dataclasses import replace
-
-        options = replace(options, seed=seed)
-    return SaPartitioner(coefficients, num_sites, options=options).solve()
+        request = SolveRequest(
+            instance=caches.instance,
+            num_sites=num_sites,
+            parameters=parameters,
+            strategy="qp",
+            options={"backend": "scipy"},
+            time_limit=time_limit,
+        )
+    elif solver in ("sa", "sa-portfolio"):
+        option_fields = asdict(
+            sa_options or SaOptions(inner_loops=10, max_outer_loops=20)
+        )
+        disjoint = option_fields.pop("disjoint")
+        if solver == "sa-portfolio" and option_fields["restarts"] == 1:
+            # Let the strategy apply its portfolio default instead of
+            # pinning SaOptions' single-run default.
+            del option_fields["restarts"]
+        request = SolveRequest(
+            instance=caches.instance,
+            num_sites=num_sites,
+            parameters=parameters,
+            allow_replication=not disjoint,
+            strategy=solver,
+            options=option_fields,
+            # The sweep-level seed fills in only when the caller's
+            # options don't pin one already.
+            seed=seed,
+        )
+    else:
+        request = SolveRequest(
+            instance=caches.instance,
+            num_sites=num_sites,
+            parameters=parameters,
+            strategy=solver,
+            seed=seed,
+            time_limit=time_limit,
+        )
+    return caches.advisor.advise(request).result
 
 
 def _point(parameter: float, result: PartitioningResult) -> SweepPoint:
@@ -213,16 +246,21 @@ def replication_price_sweep(
     caches = SweepCaches(instance)
     for penalty in penalties:
         parameters = CostParameters(network_penalty=penalty)
-        coefficients = caches.coefficients.coefficients(parameters)
+
+        def qp_request(allow_replication: bool) -> SolveRequest:
+            return SolveRequest(
+                instance=caches.instance,
+                num_sites=num_sites,
+                parameters=parameters,
+                allow_replication=allow_replication,
+                strategy="qp",
+                options={"backend": "scipy"},
+                time_limit=time_limit,
+            )
+
         try:
-            replicated = QpPartitioner(
-                coefficients, num_sites,
-                linearization_cache=caches.linearization,
-            ).solve(time_limit=time_limit, backend="scipy")
-            disjoint = QpPartitioner(
-                coefficients, num_sites, allow_replication=False,
-                linearization_cache=caches.linearization,
-            ).solve(time_limit=time_limit, backend="scipy")
+            replicated = caches.advisor.advise(qp_request(True)).result
+            disjoint = caches.advisor.advise(qp_request(False)).result
         except SolverLimitError:
             continue
         rows.append(

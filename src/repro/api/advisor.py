@@ -1,0 +1,292 @@
+"""The advisor facade: ``advise(request)`` and batched serving.
+
+One :class:`Advisor` is a long-lived serving object: it owns a
+per-instance :class:`~repro.costmodel.coefficients.CoefficientCache`
+(indicators/weights built once per instance, coefficient arrays memoised
+per cost parameters) and a shared
+:class:`~repro.qp.linearize.LinearizationCache` (MIP constraint
+skeletons re-priced instead of rebuilt), so a batch of requests — a
+parameter sweep, a bench table, a service queue — pays the expensive
+model-building work once.  Cached serving is bitwise identical to
+uncached: the caches only share intermediate products, never change the
+arithmetic.
+
+``advise_many`` serves a list of requests in deterministic order and
+derives per-request seeds from one master seed; SA-family stages can fan
+their restart portfolios out over the existing process pool via
+``jobs`` without changing any result (the portfolio incumbent does not
+depend on completion order).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.api.registry import SolverRegistry, StrategyContext, default_registry
+from repro.api.report import SolveReport
+from repro.api.request import SolveRequest
+from repro.costmodel.coefficients import CoefficientCache, CostCoefficients
+from repro.exceptions import OptionsError
+from repro.model.instance import ProblemInstance
+from repro.partition.assignment import PartitioningResult
+from repro.qp.linearize import DEFAULT_CACHE_CAPACITY, LinearizationCache
+
+#: Stages that understand the SA ``jobs`` option (portfolio fan-out).
+_POOLED_STAGES = frozenset({"sa", "sa-portfolio", "auto"})
+
+
+def derive_request_seeds(master_seed: int, count: int) -> list[int]:
+    """``count`` deterministic, pairwise-independent request seeds."""
+    children = np.random.SeedSequence(master_seed).spawn(count)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
+class Advisor:
+    """Serve :class:`SolveRequest` objects through the solver registry.
+
+    Parameters
+    ----------
+    registry:
+        The strategy registry to resolve names against (default: the
+        process-wide registry with all built-ins).
+    linearization_capacity:
+        LRU size of the shared MIP-skeleton cache; ``0`` disables
+        skeleton reuse (each QP request builds from scratch).
+    instance_cache_capacity:
+        Number of distinct instances whose coefficient caches the
+        advisor retains (LRU eviction beyond it), bounding memory for
+        long-lived advisors that see many instances.
+    """
+
+    #: Default number of per-instance coefficient caches retained.
+    DEFAULT_INSTANCE_CAPACITY = 32
+
+    def __init__(
+        self,
+        registry: SolverRegistry | None = None,
+        *,
+        linearization_capacity: int = DEFAULT_CACHE_CAPACITY,
+        instance_cache_capacity: int = DEFAULT_INSTANCE_CAPACITY,
+    ):
+        if instance_cache_capacity < 1:
+            raise OptionsError(
+                f"instance_cache_capacity must be >= 1, got "
+                f"{instance_cache_capacity}"
+            )
+        self.registry = registry or default_registry()
+        self.linearization_cache = LinearizationCache(
+            capacity=linearization_capacity
+        )
+        self.instance_cache_capacity = instance_cache_capacity
+        # Keyed by instance identity; the instance reference is kept so
+        # a garbage-collected id() can never alias a live entry.
+        self._coefficient_caches: OrderedDict[
+            int, tuple[ProblemInstance, CoefficientCache]
+        ] = OrderedDict()
+        # Counter totals of evicted caches, so cache_stats (and the
+        # per-request deltas derived from it) never run backwards.
+        self._evicted_hits = 0
+        self._evicted_misses = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # caches
+    # ------------------------------------------------------------------
+    def coefficient_cache(self, instance: ProblemInstance) -> CoefficientCache:
+        """The advisor's (memoised) coefficient cache for ``instance``."""
+        entry = self._coefficient_caches.get(id(instance))
+        if entry is None or entry[0] is not instance:
+            entry = (instance, CoefficientCache(instance))
+            self._coefficient_caches[id(instance)] = entry
+            while len(self._coefficient_caches) > self.instance_cache_capacity:
+                _, (_, evicted) = self._coefficient_caches.popitem(last=False)
+                self._evicted_hits += evicted.hits
+                self._evicted_misses += evicted.misses
+        else:
+            self._coefficient_caches.move_to_end(id(instance))
+        return entry[1]
+
+    def coefficients_for(self, request: SolveRequest) -> CostCoefficients:
+        """Coefficients for a request (shared across equal parameters)."""
+        return self.coefficient_cache(request.instance).coefficients(
+            request.parameters
+        )
+
+    def cache_stats(self) -> dict[str, int]:
+        """Cumulative cache counters across every request served."""
+        coefficient_hits = self._evicted_hits + sum(
+            cache.hits for _, cache in self._coefficient_caches.values()
+        )
+        coefficient_misses = self._evicted_misses + sum(
+            cache.misses for _, cache in self._coefficient_caches.values()
+        )
+        return {
+            "coefficient_hits": coefficient_hits,
+            "coefficient_misses": coefficient_misses,
+            "linearization_hits": self.linearization_cache.hits,
+            "linearization_misses": self.linearization_cache.misses,
+        }
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def advise(
+        self,
+        request: SolveRequest,
+        *,
+        warm_start: PartitioningResult | None = None,
+    ) -> SolveReport:
+        """Serve one request and return its :class:`SolveReport`.
+
+        ``warm_start`` optionally seeds the first stage with a known
+        incumbent (stages of a chained strategy warm-start each other
+        automatically; only strategies that understand warm starts — the
+        QP — consume it).
+        """
+        started = time.perf_counter()
+        before = self.cache_stats()
+        stages = request.stages
+        chained = len(stages) > 1
+        if chained:
+            unknown = set(request.options) - set(stages)
+            if unknown:
+                raise OptionsError(
+                    f"chained strategy {request.strategy!r} takes per-stage "
+                    f"option groups keyed by stage name; unknown keys "
+                    f"{sorted(unknown)} (stages: {list(stages)})"
+                )
+
+        results: list[PartitioningResult] = []
+        resolved: list[str] = []
+        incumbent = warm_start
+        deadline = None
+        if chained and request.time_limit is not None:
+            # One budget bounds the whole chain: each stage gets what is
+            # left of it, not a fresh full allowance.
+            deadline = started + request.time_limit
+        for position, stage_name in enumerate(stages):
+            strategy = self.registry.get(stage_name)
+            if chained:
+                stage_options: Any = request.options.get(stage_name, {})
+                stage_time = request.time_limit
+                if deadline is not None:
+                    stage_time = max(0.0, deadline - time.perf_counter())
+                    if stage_time <= 0.0 and results:
+                        # Budget exhausted: keep the incumbent the
+                        # earlier stages already produced instead of
+                        # failing the whole request.
+                        results[-1].metadata.setdefault(
+                            "chain_stages_skipped", list(stages[position:])
+                        )
+                        break
+                stage_request = request.with_(
+                    strategy=stage_name,
+                    options=stage_options,
+                    time_limit=stage_time,
+                )
+            else:
+                stage_request = request
+            context = StrategyContext(
+                coefficients=self.coefficients_for(request),
+                linearization_cache=self.linearization_cache,
+                warm_start=incumbent,
+                advisor=self,
+            )
+            # Strategies that consume the incumbent (the QP family)
+            # record "warm_start_objective" themselves; stages that
+            # ignore warm starts must not claim one.
+            result = strategy(stage_request, context)
+            resolved.append(context.notes.get("auto_pick", stage_name))
+            results.append(result)
+            incumbent = result
+
+        after = self.cache_stats()
+        self.requests_served += 1
+        return SolveReport(
+            request=request,
+            result=results[-1],
+            strategy="->".join(resolved),
+            wall_time=time.perf_counter() - started,
+            cache_stats={key: after[key] - before[key] for key in after},
+            stage_results=results[:-1],
+        )
+
+    def advise_many(
+        self,
+        requests: Iterable[SolveRequest],
+        *,
+        master_seed: int | None = None,
+        jobs: int | None = None,
+    ) -> list[SolveReport]:
+        """Serve a batch of requests through the shared caches.
+
+        ``master_seed`` fills the seed of every request that does not
+        pin one, via deterministic per-request ``SeedSequence`` children
+        — the batch reproduces exactly for a fixed master seed.
+        ``jobs`` fans SA-family restart portfolios out over the process
+        pool; results are identical for any value (the portfolio
+        incumbent is completion-order independent), only wall-clock
+        changes.
+        """
+        batch = list(requests)
+        if master_seed is not None:
+            seeds = derive_request_seeds(master_seed, len(batch))
+            batch = [
+                request if request.seed is not None
+                else request.with_(seed=seed)
+                for request, seed in zip(batch, seeds)
+            ]
+        if jobs is not None:
+            batch = [self._with_jobs(request, jobs) for request in batch]
+        return [self.advise(request) for request in batch]
+
+    @staticmethod
+    def _with_jobs(request: SolveRequest, jobs: int) -> SolveRequest:
+        """Inject the pool size into every stage that can use it."""
+        stages = request.stages
+        if len(stages) == 1:
+            if stages[0] in _POOLED_STAGES and "jobs" not in request.options:
+                return request.with_options(jobs=jobs)
+            return request
+        options = dict(request.options)
+        changed = False
+        for stage in stages:
+            if stage in _POOLED_STAGES:
+                group = dict(options.get(stage, {}))
+                if "jobs" not in group:
+                    group["jobs"] = jobs
+                    options[stage] = group
+                    changed = True
+        return request.with_(options=options) if changed else request
+
+
+def advise(
+    request: SolveRequest,
+    *,
+    warm_start: PartitioningResult | None = None,
+    registry: SolverRegistry | None = None,
+) -> SolveReport:
+    """Serve one request through a fresh, throwaway :class:`Advisor`.
+
+    Results are identical to ``Advisor().advise(request)``; use a
+    long-lived :class:`Advisor` when serving several related requests so
+    they share coefficient products and MIP skeletons.
+    """
+    return Advisor(registry).advise(request, warm_start=warm_start)
+
+
+def advise_many(
+    requests: Sequence[SolveRequest],
+    *,
+    master_seed: int | None = None,
+    jobs: int | None = None,
+    registry: SolverRegistry | None = None,
+) -> list[SolveReport]:
+    """Serve a batch through a fresh :class:`Advisor` (shared caches)."""
+    return Advisor(registry).advise_many(
+        requests, master_seed=master_seed, jobs=jobs
+    )

@@ -1,0 +1,80 @@
+"""The uniform report returned for every :class:`~repro.api.SolveRequest`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api.request import SolveRequest
+from repro.partition.assignment import PartitioningResult
+
+
+@dataclass
+class SolveReport:
+    """A solved request: the partitioning plus serving metadata.
+
+    Attributes
+    ----------
+    request:
+        The request that produced this report.
+    result:
+        The underlying :class:`~repro.partition.PartitioningResult`
+        (bitwise identical to what the strategy's direct entry point
+        would have returned for the same inputs and seeds).
+    strategy:
+        The resolved strategy chain actually executed — e.g. ``"qp"``
+        when the request asked for ``"auto"`` and the model-size cutoff
+        picked the exact solver.
+    wall_time:
+        Seconds the advisor spent serving the request end to end
+        (all chained stages included).
+    cache_stats:
+        Advisor cache activity attributable to this request:
+        ``coefficient_hits`` / ``coefficient_misses`` (shared
+        indicator/weight products) and ``linearization_hits`` /
+        ``linearization_misses`` (re-priced MIP skeletons).
+    stage_results:
+        Results of earlier stages of a chained strategy (empty when the
+        chain has one stage); ``result`` is always the final stage's.
+    """
+
+    request: SolveRequest
+    result: PartitioningResult
+    strategy: str
+    wall_time: float
+    cache_stats: dict[str, int] = field(default_factory=dict)
+    stage_results: list[PartitioningResult] = field(default_factory=list)
+
+    @property
+    def requested_strategy(self) -> str:
+        return self.request.strategy
+
+    @property
+    def objective(self) -> float:
+        return self.result.objective
+
+    @property
+    def x(self) -> np.ndarray:
+        return self.result.x
+
+    @property
+    def y(self) -> np.ndarray:
+        return self.result.y
+
+    @property
+    def proven_optimal(self) -> bool:
+        return self.result.proven_optimal
+
+    @property
+    def metadata(self) -> dict[str, Any]:
+        return self.result.metadata
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveReport(strategy={self.strategy!r}, "
+            f"objective={self.objective:.6g}, "
+            f"sites={self.result.num_sites}, "
+            f"wall_time={self.wall_time:.3f}s)"
+        )

@@ -1,0 +1,174 @@
+"""The uniform partitioning request served by :func:`repro.api.advise`.
+
+A :class:`SolveRequest` captures everything a solve needs — instance,
+number of sites, cost parameters, replication mode, strategy and its
+options, seed and time budget — as one frozen value with an exact JSON
+round-trip (:meth:`SolveRequest.to_json` / :meth:`SolveRequest.from_json`),
+so requests can be queued, shipped to a service and replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.costmodel.config import (
+    DEFAULT_LAMBDA,
+    DEFAULT_NETWORK_PENALTY,
+    CostParameters,
+    WriteAccounting,
+)
+from repro.exceptions import OptionsError
+from repro.model.instance import ProblemInstance
+from repro.model.serialize import instance_from_dict, instance_to_dict
+
+#: Version stamp of the request JSON document.
+REQUEST_FORMAT_VERSION = 1
+
+#: Separator for chained strategies ("sa-portfolio->qp" runs the
+#: portfolio first and warm-starts the QP from its incumbent).
+CHAIN_SEPARATOR = "->"
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One partitioning request, strategy-agnostic.
+
+    Parameters
+    ----------
+    instance:
+        The schema + workload to partition.
+    num_sites:
+        Number of sites ``|S| >= 1``.
+    parameters:
+        Cost-model parameters (default: the paper's ``p=8``, cost-dominant
+        blending).
+    allow_replication:
+        ``False`` requests a disjoint partitioning (Table 5's variant);
+        strategies map this to their own spelling (QP's ``==1`` placement
+        row, SA's ``disjoint`` option).
+    strategy:
+        A registry name (``"qp"``, ``"sa"``, ``"sa-portfolio"``,
+        ``"greedy"``, ``"affinity"``, ``"hillclimb"``, ``"round-robin"``,
+        ``"auto"``, or a user-registered name), or a ``"->"`` chain such
+        as ``"sa-portfolio->qp"`` where each stage warm-starts the next.
+    options:
+        Per-strategy options (JSON-compatible values only). For ``"sa"``
+        / ``"sa-portfolio"`` these mirror
+        :class:`~repro.sa.options.SaOptions` fields; for ``"qp"`` they
+        are ``gap``, ``backend``, ``latency``, ``symmetry_breaking``;
+        ``"auto"`` additionally honours ``auto_cutoff``.
+    seed:
+        Master seed; fills the strategy's own seed option when that is
+        not pinned in ``options``.
+    time_limit:
+        Wall-clock budget in seconds (QP solve limit, SA portfolio
+        budget).  For a chained strategy one budget spans all stages:
+        each stage receives only what is left of it.
+    """
+
+    instance: ProblemInstance
+    num_sites: int
+    parameters: CostParameters = field(default_factory=CostParameters)
+    allow_replication: bool = True
+    strategy: str = "auto"
+    options: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    time_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_sites < 1:
+            raise OptionsError(f"need at least one site, got {self.num_sites}")
+        if not isinstance(self.strategy, str) or not self.strategy.strip():
+            raise OptionsError(f"strategy must be a non-empty string, got "
+                               f"{self.strategy!r}")
+        for stage in self.stages:
+            if not stage:
+                raise OptionsError(
+                    f"empty stage in chained strategy {self.strategy!r}"
+                )
+        if self.time_limit is not None and self.time_limit < 0:
+            raise OptionsError(
+                f"time_limit must be >= 0 seconds, got {self.time_limit}"
+            )
+        # Freeze the options mapping so the request is a true value.
+        object.__setattr__(self, "options", MappingProxyType(dict(self.options)))
+
+    @property
+    def stages(self) -> tuple[str, ...]:
+        """The strategy chain, outermost first (length 1 when unchained)."""
+        return tuple(part.strip() for part in self.strategy.split(CHAIN_SEPARATOR))
+
+    def with_(self, **changes: Any) -> "SolveRequest":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def with_options(self, **extra: Any) -> "SolveRequest":
+        """A copy with ``extra`` merged into :attr:`options`."""
+        merged = dict(self.options)
+        merged.update(extra)
+        return replace(self, options=merged)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary (exact inverse of
+        :meth:`from_dict`)."""
+        return {
+            "format_version": REQUEST_FORMAT_VERSION,
+            "instance": instance_to_dict(self.instance),
+            "num_sites": self.num_sites,
+            "parameters": {
+                "network_penalty": self.parameters.network_penalty,
+                "load_balance_lambda": self.parameters.load_balance_lambda,
+                "write_accounting": self.parameters.write_accounting.value,
+                "latency_penalty": self.parameters.latency_penalty,
+            },
+            "allow_replication": self.allow_replication,
+            "strategy": self.strategy,
+            "options": dict(self.options),
+            "seed": self.seed,
+            "time_limit": self.time_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SolveRequest":
+        version = payload.get("format_version", REQUEST_FORMAT_VERSION)
+        if version != REQUEST_FORMAT_VERSION:
+            raise OptionsError(
+                f"unsupported request format_version {version!r} "
+                f"(this build reads version {REQUEST_FORMAT_VERSION})"
+            )
+        parameters = payload.get("parameters") or {}
+        return cls(
+            instance=instance_from_dict(payload["instance"]),
+            num_sites=int(payload["num_sites"]),
+            parameters=CostParameters(
+                network_penalty=parameters.get(
+                    "network_penalty", DEFAULT_NETWORK_PENALTY
+                ),
+                load_balance_lambda=parameters.get(
+                    "load_balance_lambda", DEFAULT_LAMBDA
+                ),
+                write_accounting=WriteAccounting(
+                    parameters.get("write_accounting", "all")
+                ),
+                latency_penalty=parameters.get("latency_penalty", 0.0),
+            ),
+            allow_replication=bool(payload.get("allow_replication", True)),
+            strategy=payload.get("strategy", "auto"),
+            options=dict(payload.get("options") or {}),
+            seed=payload.get("seed"),
+            time_limit=payload.get("time_limit"),
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """Serialise to a JSON string (options must be JSON values)."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveRequest":
+        return cls.from_dict(json.loads(text))

@@ -11,7 +11,10 @@ QP/SA formulation can be quantified:
 * greedy first-fit bin packing of co-access fragments.
 
 All baselines return feasible :class:`PartitioningResult` objects
-(read co-location is repaired by adding replicas where needed).
+(read co-location is repaired by adding replicas where needed) and share
+the normalised ``(instance, num_sites, params, seed)`` call shape used
+by the :mod:`repro.api` registry adapters; the pre-API ``parameters=``
+keyword still works but emits a :class:`DeprecationWarning`.
 """
 
 from repro.baselines.round_robin import round_robin_partitioning

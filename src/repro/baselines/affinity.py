@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from repro.baselines.signature import resolve_legacy_params
 from repro.costmodel.coefficients import CostCoefficients, build_coefficients
 from repro.costmodel.config import CostParameters
 from repro.costmodel.evaluator import SolutionEvaluator
@@ -107,14 +108,22 @@ def _split_order(
 def affinity_partitioning(
     instance: ProblemInstance | CostCoefficients,
     num_sites: int,
-    parameters: CostParameters | None = None,
+    params: CostParameters | None = None,
+    seed: int | None = None,
+    **legacy,
 ) -> PartitioningResult:
-    """BEA-clustered fragments, transactions by read overlap, repaired."""
+    """BEA-clustered fragments, transactions by read overlap, repaired.
+
+    ``seed`` is part of the normalised baseline signature and ignored —
+    the BEA ordering is deterministic.
+    """
+    params = resolve_legacy_params("affinity_partitioning", params, legacy)
+    del seed
     started = time.perf_counter()
     coefficients = (
         instance
         if isinstance(instance, CostCoefficients)
-        else build_coefficients(instance, parameters)
+        else build_coefficients(instance, params)
     )
     num_attributes = coefficients.num_attributes
     num_transactions = coefficients.num_transactions

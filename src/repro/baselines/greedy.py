@@ -14,6 +14,7 @@ import time
 
 import numpy as np
 
+from repro.baselines.signature import resolve_legacy_params
 from repro.costmodel.coefficients import CostCoefficients, build_coefficients
 from repro.costmodel.config import CostParameters
 from repro.costmodel.evaluator import SolutionEvaluator
@@ -26,15 +27,23 @@ from repro.sa.subsolve import SubproblemSolver
 def greedy_binpack_partitioning(
     instance: ProblemInstance | CostCoefficients,
     num_sites: int,
-    parameters: CostParameters | None = None,
+    params: CostParameters | None = None,
+    seed: int | None = None,
+    **legacy,
 ) -> PartitioningResult:
-    """First-fit-decreasing packing of co-access groups onto sites."""
+    """First-fit-decreasing packing of co-access groups onto sites.
+
+    ``seed`` is part of the normalised baseline signature and ignored —
+    the packing order is deterministic.
+    """
+    params = resolve_legacy_params("greedy_binpack_partitioning", params, legacy)
+    del seed
     started = time.perf_counter()
     if isinstance(instance, CostCoefficients):
         coefficients = instance
         problem = coefficients.instance
     else:
-        coefficients = build_coefficients(instance, parameters)
+        coefficients = build_coefficients(instance, params)
         problem = instance
 
     groups = attribute_groups(problem)

@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from repro.baselines.signature import resolve_legacy_params
 from repro.costmodel.coefficients import CostCoefficients, build_coefficients
 from repro.costmodel.config import CostParameters
 from repro.costmodel.evaluator import SolutionEvaluator
@@ -25,17 +26,25 @@ from repro.sa.subsolve import SubproblemSolver
 def hill_climb_partitioning(
     instance: ProblemInstance | CostCoefficients,
     num_sites: int,
-    parameters: CostParameters | None = None,
+    params: CostParameters | None = None,
+    seed: int | None = None,
+    *,
     restarts: int = 4,
     max_rounds: int = 25,
-    seed: int | None = None,
+    **legacy,
 ) -> PartitioningResult:
-    """Best of ``restarts`` alternating-descent runs from random starts."""
+    """Best of ``restarts`` alternating-descent runs from random starts.
+
+    .. note:: Before the unified-API normalisation the 4th positional
+       argument was ``restarts``; it is now ``seed`` (matching the
+       common baseline shape) and the tuning knobs are keyword-only.
+    """
+    params = resolve_legacy_params("hill_climb_partitioning", params, legacy)
     started = time.perf_counter()
     coefficients = (
         instance
         if isinstance(instance, CostCoefficients)
-        else build_coefficients(instance, parameters)
+        else build_coefficients(instance, params)
     )
     rng = np.random.default_rng(seed)
     subsolver = SubproblemSolver(coefficients, num_sites)

@@ -6,6 +6,7 @@ import time
 
 import numpy as np
 
+from repro.baselines.signature import resolve_legacy_params
 from repro.costmodel.coefficients import CostCoefficients, build_coefficients
 from repro.costmodel.config import CostParameters
 from repro.costmodel.evaluator import SolutionEvaluator
@@ -17,15 +18,23 @@ from repro.sa.subsolve import SubproblemSolver
 def round_robin_partitioning(
     instance: ProblemInstance | CostCoefficients,
     num_sites: int,
-    parameters: CostParameters | None = None,
+    params: CostParameters | None = None,
+    seed: int | None = None,
+    **legacy,
 ) -> PartitioningResult:
     """Place transaction ``t`` on site ``t mod |S|``; attributes follow
-    greedily (forced replicas plus cost-negative ones)."""
+    greedily (forced replicas plus cost-negative ones).
+
+    ``seed`` is part of the normalised baseline signature and ignored —
+    the placement is deterministic.
+    """
+    params = resolve_legacy_params("round_robin_partitioning", params, legacy)
+    del seed
     started = time.perf_counter()
     coefficients = (
         instance
         if isinstance(instance, CostCoefficients)
-        else build_coefficients(instance, parameters)
+        else build_coefficients(instance, params)
     )
     num_transactions = coefficients.num_transactions
     x = np.zeros((num_transactions, num_sites), dtype=bool)

@@ -1,0 +1,52 @@
+"""The normalised baseline call shape and its deprecation adapter.
+
+Every baseline partitioner takes ``(instance, num_sites, params, seed)``
+— matching the registry adapters in :mod:`repro.api.strategies` — with
+any extra tuning knobs keyword-only after that.  The pre-API keyword
+spelling ``parameters=`` is still accepted through one release but
+warns.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.costmodel.config import CostParameters
+
+
+def resolve_legacy_params(
+    function_name: str,
+    params: CostParameters | None,
+    legacy: dict,
+) -> CostParameters | None:
+    """Fold the deprecated ``parameters=`` spelling into ``params``."""
+    if "parameters" in legacy:
+        warnings.warn(
+            f"{function_name}(parameters=...) is deprecated; use the "
+            f"normalised (instance, num_sites, params, seed) signature "
+            f"(params=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        replacement = legacy.pop("parameters")
+        if params is not None and replacement is not None:
+            raise TypeError(
+                f"{function_name}() got both params and the deprecated "
+                f"parameters keyword"
+            )
+        if params is None:
+            params = replacement
+    if legacy:
+        unexpected = ", ".join(sorted(legacy))
+        raise TypeError(
+            f"{function_name}() got unexpected keyword arguments: {unexpected}"
+        )
+    if params is not None and not isinstance(params, CostParameters):
+        # Catches pre-normalisation positional call patterns early
+        # (e.g. an int landing in the params slot).
+        raise TypeError(
+            f"{function_name}() expects CostParameters (or None) in the "
+            f"third position, got {type(params).__name__}; tuning knobs "
+            f"such as restarts/max_rounds are keyword-only now"
+        )
+    return params

@@ -5,15 +5,20 @@ published its TPC-C statistics or random-instance weight distributions;
 see DESIGN.md), so each table also carries the paper's reported numbers
 as reference columns and, where meaningful, relative quantities
 (reduction percentages, replication ratios) that *are* comparable.
+
+Every solve is served through one per-table
+:class:`~repro.api.Advisor`, so rows of the same instance share
+coefficient products and re-priced MIP skeletons (bitwise identical to
+the direct solver calls the tables used before the unified API).
 """
 
 from __future__ import annotations
 
-import time
+from dataclasses import asdict
 
+from repro.api import Advisor, SolveRequest
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.formatting import BenchTable
-from repro.costmodel.coefficients import build_coefficients
 from repro.costmodel.config import CostParameters
 from repro.exceptions import SolverLimitError
 from repro.instances.library import TABLE1_DEFAULTS, TABLE2_INSTANCES, named_instance
@@ -22,11 +27,47 @@ from repro.instances.tpcc import tpcc_instance
 from repro.model.statistics import describe_instance
 from repro.partition.assignment import single_site_partitioning
 from repro.partition.layout import layout_summary, render_layout
-from repro.qp.solver import QpPartitioner
-from repro.sa.solver import SaPartitioner
 
 #: The paper's defaults (Section 5): p = 8, lambda = 0.1.
 PAPER_PARAMETERS = CostParameters()
+
+
+def _qp_request(
+    instance,
+    num_sites: int,
+    profile: BenchProfile,
+    parameters: CostParameters = PAPER_PARAMETERS,
+    allow_replication: bool = True,
+) -> SolveRequest:
+    """The tables' QP solve as a request (scipy backend, profile budget)."""
+    return SolveRequest(
+        instance=instance,
+        num_sites=num_sites,
+        parameters=parameters,
+        allow_replication=allow_replication,
+        strategy="qp",
+        options={"backend": "scipy", "gap": profile.qp_gap},
+        time_limit=profile.qp_time_limit,
+    )
+
+
+def _sa_request(
+    instance,
+    num_sites: int,
+    profile: BenchProfile,
+    parameters: CostParameters = PAPER_PARAMETERS,
+) -> SolveRequest:
+    """The tables' SA solve as a request (profile-tuned options)."""
+    option_fields = asdict(profile.sa_for(instance.num_attributes))
+    disjoint = option_fields.pop("disjoint")
+    return SolveRequest(
+        instance=instance,
+        num_sites=num_sites,
+        parameters=parameters,
+        allow_replication=not disjoint,
+        strategy="sa",
+        options=option_fields,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -58,6 +99,7 @@ def table1(profile: BenchProfile | None = None) -> BenchTable:
             "updates, many attrs/table, moderate attr refs",
         ],
     )
+    advisor = Advisor()
     for size in profile.table1_sizes:
         base = TABLE1_DEFAULTS.with_(
             num_transactions=size, num_tables=size, name=f"table1-{size}"
@@ -66,17 +108,16 @@ def table1(profile: BenchProfile | None = None) -> BenchTable:
             for value in values:
                 parameters = base.with_(**{field_name: value})
                 instance = generate_instance(parameters, seed=profile.seed)
-                coefficients = build_coefficients(instance, PAPER_PARAMETERS)
+                coefficients = advisor.coefficient_cache(instance).coefficients(
+                    PAPER_PARAMETERS
+                )
                 costs: dict[int, float] = {
                     1: single_site_partitioning(coefficients).objective
                 }
                 for num_sites in (2, 3):
-                    solver = SaPartitioner(
-                        coefficients,
-                        num_sites,
-                        options=profile.sa_for(instance.num_attributes),
-                    )
-                    costs[num_sites] = solver.solve().objective
+                    costs[num_sites] = advisor.advise(
+                        _sa_request(instance, num_sites, profile)
+                    ).objective
                 table.add_row(
                     **{
                         "class": f"{size}x{size}",
@@ -165,14 +206,11 @@ _TABLE3_LARGE = [
 ]
 
 
-def _solve_qp_guarded(instance, num_sites, profile, coefficients):
+def _solve_qp_guarded(advisor, instance, num_sites, profile):
     """QP with limits; returns (cost_str, cost, seconds) with the paper's
     parenthesis convention for non-proven solutions and 't/o'."""
     try:
-        partitioner = QpPartitioner(coefficients, num_sites)
-        result = partitioner.solve(
-            time_limit=profile.qp_time_limit, gap=profile.qp_gap, backend="scipy"
-        )
+        result = advisor.advise(_qp_request(instance, num_sites, profile)).result
     except SolverLimitError:
         return "t/o", None, profile.qp_time_limit
     cost_str = (
@@ -200,19 +238,21 @@ def table3(profile: BenchProfile | None = None) -> BenchTable:
         ],
     )
 
+    advisor = Advisor()
+
     def add_rows(instance, sites_list):
-        coefficients = build_coefficients(instance, PAPER_PARAMETERS)
+        coefficients = advisor.coefficient_cache(instance).coefficients(
+            PAPER_PARAMETERS
+        )
         base = single_site_partitioning(coefficients).objective
         key_name = "tpcc" if instance.name.startswith("TPC-C") else instance.name
         for num_sites in sites_list:
             qp_str, _, qp_seconds = _solve_qp_guarded(
-                instance, num_sites, profile, coefficients
+                advisor, instance, num_sites, profile
             )
-            sa_solver = SaPartitioner(
-                coefficients, num_sites,
-                options=profile.sa_for(instance.num_attributes),
-            )
-            sa_result = sa_solver.solve()
+            sa_result = advisor.advise(
+                _sa_request(instance, num_sites, profile)
+            ).result
             paper = PAPER_TABLE3.get((key_name, num_sites), (None, None, None))
             table.add_row(
                 instance=instance.name,
@@ -245,11 +285,7 @@ def table4(profile: BenchProfile | None = None) -> BenchTable:
     """Table 4: a concrete QP partitioning of TPC-C over three sites."""
     profile = profile or get_profile()
     instance = tpcc_instance()
-    coefficients = build_coefficients(instance, PAPER_PARAMETERS)
-    partitioner = QpPartitioner(coefficients, 3)
-    result = partitioner.solve(
-        time_limit=profile.qp_time_limit, gap=profile.qp_gap, backend="scipy"
-    )
+    result = Advisor().advise(_qp_request(instance, 3, profile)).result
     table = BenchTable(
         title="Table 4 — TPC-C partitioned over three sites (QP solver)",
         columns=["site", "transactions", "#attributes", "replicated attrs"],
@@ -306,21 +342,21 @@ def table5(profile: BenchProfile | None = None) -> BenchTable:
         ],
     )
 
+    advisor = Advisor()
+
     def add_row(instance, num_sites, key_name):
-        coefficients = build_coefficients(instance, PAPER_PARAMETERS)
         if num_sites == 1:
+            coefficients = advisor.coefficient_cache(instance).coefficients(
+                PAPER_PARAMETERS
+            )
             base = single_site_partitioning(coefficients).objective
             with_repl = without_repl = base
         else:
-            with_repl = QpPartitioner(coefficients, num_sites).solve(
-                time_limit=profile.qp_time_limit, gap=profile.qp_gap,
-                backend="scipy",
+            with_repl = advisor.advise(
+                _qp_request(instance, num_sites, profile)
             ).objective
-            without_repl = QpPartitioner(
-                coefficients, num_sites, allow_replication=False
-            ).solve(
-                time_limit=profile.qp_time_limit, gap=profile.qp_gap,
-                backend="scipy",
+            without_repl = advisor.advise(
+                _qp_request(instance, num_sites, profile, allow_replication=False)
             ).objective
         ratio = (
             round(100.0 * with_repl / without_repl) if num_sites > 1 else None
@@ -377,20 +413,21 @@ def table6(profile: BenchProfile | None = None) -> BenchTable:
         ],
     )
     local_parameters = PAPER_PARAMETERS.with_local_placement()
+    advisor = Advisor()
 
     def solve_pair(instance, num_sites, parameters):
-        coefficients = build_coefficients(instance, parameters)
         if num_sites == 1:
+            coefficients = advisor.coefficient_cache(instance).coefficients(
+                parameters
+            )
             cost = single_site_partitioning(coefficients).objective
             return cost, cost
-        qp = QpPartitioner(coefficients, num_sites).solve(
-            time_limit=profile.qp_time_limit, gap=profile.qp_gap,
-            backend="scipy",
+        qp = advisor.advise(
+            _qp_request(instance, num_sites, profile, parameters=parameters)
         ).objective
-        sa = SaPartitioner(
-            coefficients, num_sites,
-            options=profile.sa_for(instance.num_attributes),
-        ).solve().objective
+        sa = advisor.advise(
+            _sa_request(instance, num_sites, profile, parameters=parameters)
+        ).objective
         return qp, sa
 
     def add_row(instance, num_sites, key_name):

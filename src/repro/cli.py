@@ -4,10 +4,15 @@ Installed as ``repro-partition`` (also ``python -m repro``):
 
 * ``repro-partition info tpcc`` — instance statistics,
 * ``repro-partition advise --instance tpcc --sites 3 --solver qp`` —
-  compute and print a partitioning,
+  compute and print a partitioning (``--solver`` takes any registered
+  strategy: ``qp``, ``sa``, ``sa-portfolio``, ``auto``, the baselines,
+  or a ``->`` chain such as ``sa-portfolio->qp``),
 * ``repro-partition advise --schema schema.sql --workload load.sql ...``
   — partition a user-supplied SQL workload,
 * ``repro-partition bench table3`` — regenerate a paper table.
+
+Every solve is served through :func:`repro.api.advise`, the same
+entry point the benchmarks, sweeps and library callers use.
 """
 
 from __future__ import annotations
@@ -16,20 +21,20 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.api import Advisor, SolveRequest, default_registry
 from repro.bench.config import get_profile
 from repro.bench.runner import TABLE_FUNCTIONS, run_table
 from repro.bench.formatting import render_table
 from repro.costmodel.config import CostParameters
-from repro.costmodel.coefficients import build_coefficients
 from repro.exceptions import ReproError
 from repro.instances.library import instance_catalog, named_instance
 from repro.model.statistics import describe_instance
 from repro.partition.assignment import single_site_partitioning
 from repro.partition.layout import layout_summary, render_layout
-from repro.qp.solver import solve_qp
-from repro.sa.options import SaOptions
-from repro.sa.solver import solve_sa
 from repro.sqlio.workload_loader import load_instance_from_sql
+
+#: Strategies that understand --restarts/--jobs (SA portfolio knobs).
+_PORTFOLIO_STRATEGIES = ("sa", "sa-portfolio", "auto")
 
 
 def _load_instance(args: argparse.Namespace):
@@ -52,6 +57,70 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _advise_request(
+    args: argparse.Namespace, instance, parameters: CostParameters
+) -> SolveRequest:
+    """Map the CLI flags onto one :class:`SolveRequest`."""
+    strategy = args.solver
+    stages = [part.strip() for part in strategy.split("->")]
+    registry = default_registry()
+    for stage in stages:
+        if stage not in registry:
+            raise ReproError(
+                f"unknown solver {stage!r}; registered: "
+                f"{', '.join(registry.names())}"
+            )
+    time_limit = args.time_limit
+    portfolio = {}
+    if args.restarts is not None:
+        portfolio["restarts"] = args.restarts
+    if args.jobs is not None:
+        portfolio["jobs"] = args.jobs
+
+    if "restarts" in portfolio and not any(
+        stage in _PORTFOLIO_STRATEGIES or stage == "hillclimb"
+        for stage in stages
+    ):
+        raise ReproError(
+            "--restarts configures the SA multi-start portfolio (or the "
+            "hillclimb baseline); use an SA-family solver with it"
+        )
+    if "jobs" in portfolio and not any(
+        stage in _PORTFOLIO_STRATEGIES for stage in stages
+    ):
+        raise ReproError(
+            "--jobs configures the SA multi-start portfolio; use an "
+            "SA-family solver with it"
+        )
+
+    def stage_options(stage: str) -> dict:
+        if stage in _PORTFOLIO_STRATEGIES:
+            return dict(portfolio)
+        if stage == "hillclimb" and "restarts" in portfolio:
+            return {"restarts": args.restarts}
+        if stage in ("qp", "qp-heavy") and time_limit is None:
+            # The CLI's historical implicit MIP budget, scoped to the
+            # stage so SA stages of a chain stay unbudgeted (and hence
+            # deterministic per fixed seed).
+            return {"time_limit": 60.0}
+        return {}
+
+    if len(stages) == 1:
+        options = stage_options(stages[0])
+    else:
+        options = {stage: stage_options(stage) for stage in stages}
+    return SolveRequest(
+        instance=instance,
+        num_sites=args.sites,
+        parameters=parameters,
+        allow_replication=not args.disjoint,
+        strategy=strategy,
+        options=options,
+        seed=args.seed,
+        time_limit=time_limit,
+    )
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     instance = _load_instance(args)
     parameters = CostParameters(
@@ -60,36 +129,19 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         # weights cost (see DESIGN.md on the paper's inverted notation).
         load_balance_lambda=1.0 - args.load_balance,
     )
-    coefficients = build_coefficients(instance, parameters)
+    advisor = Advisor()
+    coefficients = advisor.coefficient_cache(instance).coefficients(parameters)
     baseline = single_site_partitioning(coefficients)
-    if args.solver == "qp":
-        if args.restarts != 1 or args.jobs != 1:
-            raise ReproError(
-                "--restarts/--jobs configure the SA multi-start portfolio; "
-                "use --solver sa with them"
-            )
-        result = solve_qp(
-            instance,
-            args.sites,
-            parameters=parameters,
-            allow_replication=not args.disjoint,
-            time_limit=args.time_limit if args.time_limit is not None else 60.0,
-        )
-    else:
-        # No implicit budget: without an explicit --time-limit every
-        # restart runs to completion, keeping fixed-seed runs
-        # deterministic; with one, it bounds the whole SA solve.
-        options = SaOptions(
-            seed=args.seed,
-            disjoint=args.disjoint,
-            restarts=args.restarts,
-            jobs=args.jobs,
-            portfolio_time_limit=args.time_limit,
-        )
-        result = solve_sa(instance, args.sites, parameters=parameters, options=options)
+    # No implicit SA budget: without an explicit --time-limit every
+    # restart runs to completion, keeping fixed-seed runs deterministic;
+    # with one, it bounds the whole solve (QP limit defaults to 60s).
+    report = advisor.advise(_advise_request(args, instance, parameters))
+    result = report.result
     reduction = 100.0 * (1.0 - result.objective / baseline.objective)
     print(f"instance      : {instance.name}")
     print(f"solver        : {result.solver} ({result.wall_time:.2f}s)")
+    if report.strategy != args.solver:
+        print(f"strategy      : {args.solver} -> resolved {report.strategy}")
     if result.metadata.get("restarts", 1) > 1:
         print(
             f"portfolio     : best-of-{result.metadata['restarts']} "
@@ -141,7 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
     advise = subparsers.add_parser("advise", help="compute a partitioning")
     add_instance_args(advise)
     advise.add_argument("--sites", type=int, default=2)
-    advise.add_argument("--solver", choices=("qp", "sa"), default="sa")
+    advise.add_argument("--solver", default="sa",
+                        help="registered strategy: qp, sa, sa-portfolio, "
+                        "auto (model-size cutoff picks qp or sa), greedy, "
+                        "affinity, hillclimb, round-robin — or a chain "
+                        "like 'sa-portfolio->qp' where each stage "
+                        "warm-starts the next (default: sa)")
     advise.add_argument("--penalty", type=float, default=8.0,
                         help="network penalty p (0 = local placement)")
     advise.add_argument("--load-balance", type=float, default=0.1,
@@ -157,12 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "truncation would make fixed-seed runs "
                         "machine-dependent)")
     advise.add_argument("--seed", type=int, default=None)
-    advise.add_argument("--restarts", type=int, default=1,
+    advise.add_argument("--restarts", type=int, default=None,
                         help="SA multi-start portfolio size: run N "
                         "independently seeded anneals and keep the best "
                         "(deterministic for a fixed --seed; --time-limit "
                         "bounds the whole portfolio)")
-    advise.add_argument("--jobs", type=int, default=1,
+    advise.add_argument("--jobs", type=int, default=None,
                         help="worker processes for --restarts > 1 "
                         "(results are identical for any value, only "
                         "wall-clock changes)")

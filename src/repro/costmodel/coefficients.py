@@ -239,14 +239,21 @@ class CoefficientCache:
         self.indicators = indicators or build_indicators(instance)
         self.weights = build_weights(instance, self.indicators)
         self._memo: dict[CostParameters, CostCoefficients] = {}
+        #: Memo hit/miss counters (every miss still shares the cached
+        #: indicators/weights — only the coefficient assembly reruns).
+        self.hits = 0
+        self.misses = 0
 
     def coefficients(self, parameters: CostParameters | None = None) -> CostCoefficients:
         """The coefficients for ``parameters`` (memoised per parameters)."""
         parameters = parameters or CostParameters()
         cached = self._memo.get(parameters)
         if cached is None:
+            self.misses += 1
             cached = _assemble_coefficients(
                 self.instance, parameters, self.indicators, self.weights
             )
             self._memo[parameters] = cached
+        else:
+            self.hits += 1
         return cached

@@ -31,6 +31,10 @@ class OptionsError(SolverError):
     """Solver options are invalid (caught eagerly, before any solve starts)."""
 
 
+class UnknownStrategyError(SolverError):
+    """A strategy name was not found in the solver registry."""
+
+
 class InfeasibleError(SolverError):
     """The optimisation model has no feasible solution."""
 

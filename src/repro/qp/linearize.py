@@ -116,6 +116,10 @@ class _SkeletonEntry:
     psi_vars: dict[int, Variable]
 
 
+#: Default number of skeletons one cache retains (LRU eviction).
+DEFAULT_CACHE_CAPACITY = 8
+
+
 class LinearizationCache:
     """Reuses model-(7) constraint skeletons across sweep points.
 
@@ -124,13 +128,27 @@ class LinearizationCache:
     and indicators (by identity), the same ``lambda < 1`` /
     latency-active regime and identical ``need_pair`` / ``c3`` / ``c4``
     arrays — everything the constraint rows are built from.  A miss
-    falls back to a full build and refreshes the entry.
+    falls back to a full build and stores a fresh entry.
+
+    Entries live in a small LRU (``capacity`` skeletons, most recently
+    used first), so one long-lived cache — e.g. inside an
+    :class:`~repro.api.Advisor` serving a whole batch — can hold several
+    regimes at once: alternating replicated/disjoint requests, requests
+    over different instances, or different ``num_sites``, without each
+    regime evicting the others.  ``capacity=0`` disables the cache
+    (every build misses and nothing is retained).
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[tuple[int, bool, bool, bool], _SkeletonEntry] = {}
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity < 0:
+            raise SolverError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: list[tuple[tuple[int, bool, bool, bool], _SkeletonEntry]] = []
         self.hits = 0
         self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
     def lookup(
         self,
@@ -140,24 +158,29 @@ class LinearizationCache:
         latency_active: bool,
         need_pair: np.ndarray,
     ) -> _SkeletonEntry | None:
-        entry = self._entries.get(key)
-        if (
-            entry is not None
-            and entry.instance is coefficients.instance
-            and entry.indicators is coefficients.indicators
-            and entry.load_side == load_side
-            and entry.latency_active == latency_active
-            and np.array_equal(entry.need_pair, need_pair)
-            and np.array_equal(entry.c3, coefficients.c3)
-            and np.array_equal(entry.c4, coefficients.c4)
-        ):
-            self.hits += 1
-            return entry
+        for position, (entry_key, entry) in enumerate(self._entries):
+            if (
+                entry_key == key
+                and entry.instance is coefficients.instance
+                and entry.indicators is coefficients.indicators
+                and entry.load_side == load_side
+                and entry.latency_active == latency_active
+                and np.array_equal(entry.need_pair, need_pair)
+                and np.array_equal(entry.c3, coefficients.c3)
+                and np.array_equal(entry.c4, coefficients.c4)
+            ):
+                if position:
+                    self._entries.insert(0, self._entries.pop(position))
+                self.hits += 1
+                return entry
         self.misses += 1
         return None
 
     def store(self, key: tuple[int, bool, bool, bool], entry: _SkeletonEntry) -> None:
-        self._entries[key] = entry
+        if self.capacity == 0:
+            return
+        self._entries.insert(0, (key, entry))
+        del self._entries[self.capacity:]
 
 
 def _objective_terms(

@@ -70,6 +70,65 @@ class QpPartitioner:
             "u_variables": len(self.linearized.u_vars),
         }
 
+    @staticmethod
+    def estimate_model_size(
+        coefficients: CostCoefficients,
+        num_sites: int,
+        allow_replication: bool = True,
+        latency: bool = False,
+        symmetry_breaking: bool = True,
+    ) -> dict[str, int]:
+        """:attr:`model_size` computed without building the model.
+
+        Counts the variables and constraint rows
+        :func:`~repro.qp.linearize.build_linearized_model` would create,
+        from the coefficient sparsity alone — cheap enough to drive the
+        ``"auto"`` strategy's QP-vs-SA cutoff (the paper's Section VI
+        scalability limit) on every request.
+        """
+        parameters = coefficients.parameters
+        lam = parameters.load_balance_lambda
+        num_transactions = coefficients.num_transactions
+        num_attributes = coefficients.num_attributes
+        indicators = coefficients.indicators
+
+        need_pair = (coefficients.c1 != 0) | ((lam < 1.0) & (coefficients.c3 != 0))
+        num_psi = 0
+        latency_active = latency and parameters.latency_penalty > 0
+        if latency:
+            write_alpha = (
+                indicators.alpha * indicators.delta[None, :]
+            ) @ indicators.gamma
+            need_pair = need_pair | (write_alpha > 0)
+        if latency_active:
+            for q_index in np.flatnonzero(indicators.delta > 0):
+                if (indicators.alpha[:, q_index] > 0).any():
+                    num_psi += 1
+        load_side = lam < 1.0
+
+        num_u = int(need_pair.sum()) * num_sites
+        num_binary = (num_transactions + num_attributes) * num_sites + num_psi
+        num_variables = num_u + num_binary + (1 if load_side else 0)
+        num_symmetry = sum(
+            num_sites - (t + 1)
+            for t in range(min(num_transactions, num_sites - 1))
+        )
+        num_constraints = (
+            num_transactions  # place_x
+            + num_attributes  # place_y (>= or == depending on replication)
+            + int(coefficients.phi_bool.sum()) * num_sites  # co-location
+            + 3 * num_u  # linearisation triples
+            + (num_sites if load_side else 0)  # load rows
+            + 2 * num_psi  # psi bounds
+            + (num_symmetry if symmetry_breaking else 0)
+        )
+        return {
+            "variables": num_variables,
+            "integer_variables": num_binary,
+            "constraints": num_constraints,
+            "u_variables": num_u,
+        }
+
     def _greedy_warm_start(self) -> PartitioningResult:
         """A feasible starting solution from the SA greedy sub-solvers."""
         import numpy as np
@@ -183,7 +242,7 @@ def _canonical_site_order(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.
 
 
 def solve_qp(
-    instance: ProblemInstance,
+    instance: ProblemInstance | CostCoefficients,
     num_sites: int,
     parameters: CostParameters | None = None,
     allow_replication: bool = True,
@@ -193,14 +252,35 @@ def solve_qp(
     backend: str = "auto",
     warm_start: PartitioningResult | None = None,
 ) -> PartitioningResult:
-    """One-call convenience wrapper around :class:`QpPartitioner`."""
-    partitioner = QpPartitioner(
-        instance,
-        num_sites,
-        parameters=parameters,
+    """One-call convenience wrapper: a thin shim over the unified
+    advisor API (``advise`` with strategy ``"qp"``), kept for
+    compatibility and pinned by test to return the same result as the
+    direct :class:`QpPartitioner` call.
+
+    Prebuilt :class:`CostCoefficients` skip the advisor (which would
+    rebuild them from the instance) and go to the partitioner directly.
+    """
+    from repro.api.advisor import advise
+    from repro.api.request import SolveRequest
+
+    if isinstance(instance, CostCoefficients):
+        return QpPartitioner(
+            instance,
+            num_sites,
+            parameters=parameters,
+            allow_replication=allow_replication,
+            latency=latency,
+        ).solve(
+            time_limit=time_limit, gap=gap, backend=backend,
+            warm_start=warm_start,
+        )
+    request = SolveRequest(
+        instance=instance,
+        num_sites=num_sites,
+        parameters=parameters or CostParameters(),
         allow_replication=allow_replication,
-        latency=latency,
+        strategy="qp",
+        options={"latency": latency, "gap": gap, "backend": backend},
+        time_limit=time_limit,
     )
-    return partitioner.solve(
-        time_limit=time_limit, gap=gap, backend=backend, warm_start=warm_start
-    )
+    return advise(request, warm_start=warm_start).result

@@ -13,13 +13,13 @@ import time
 
 import numpy as np
 
-from repro.costmodel.coefficients import build_coefficients
+from repro.api.advisor import Advisor
+from repro.api.request import SolveRequest
 from repro.costmodel.config import CostParameters
 from repro.costmodel.evaluator import SolutionEvaluator
 from repro.model.instance import ProblemInstance
 from repro.model.workload import Workload
 from repro.partition.assignment import PartitioningResult
-from repro.qp.solver import QpPartitioner
 from repro.sa.subsolve import SubproblemSolver
 
 
@@ -31,6 +31,10 @@ class IterativeRefinement:
     greedily inserts the light transactions one by one (cheapest
     feasible site under the blended objective) and re-optimises ``y``;
     optionally a full QP is warm-started from this solution.
+
+    Both QP stages are served through the registry's ``"qp"`` strategy;
+    pass a long-lived :class:`~repro.api.Advisor` to share its caches
+    with other requests (a fresh one is created otherwise).
     """
 
     def __init__(
@@ -39,12 +43,16 @@ class IterativeRefinement:
         num_sites: int,
         parameters: CostParameters | None = None,
         heavy_fraction: float = 0.2,
+        advisor: Advisor | None = None,
     ):
         self.instance = instance
         self.num_sites = num_sites
         self.parameters = parameters or CostParameters()
         self.heavy_fraction = heavy_fraction
-        self.coefficients = build_coefficients(instance, self.parameters)
+        self.advisor = advisor or Advisor()
+        self.coefficients = self.advisor.coefficient_cache(instance).coefficients(
+            self.parameters
+        )
 
     def transaction_loads(self) -> np.ndarray:
         """Total access weight of each transaction (read + its writes)."""
@@ -77,12 +85,18 @@ class IterativeRefinement:
         started = time.perf_counter()
         heavy = self.heavy_transactions()
         sub_instance = self._sub_instance(heavy)
-        sub_partitioner = QpPartitioner(
-            sub_instance, self.num_sites, parameters=self.parameters
-        )
-        sub_result = sub_partitioner.solve(
-            time_limit=time_limit, gap=gap, backend=backend
-        )
+
+        def qp_request(instance: ProblemInstance) -> SolveRequest:
+            return SolveRequest(
+                instance=instance,
+                num_sites=self.num_sites,
+                parameters=self.parameters,
+                strategy="qp",
+                options={"gap": gap, "backend": backend},
+                time_limit=time_limit,
+            )
+
+        sub_result = self.advisor.advise(qp_request(sub_instance)).result
 
         # Lift: heavy transactions keep their sites; light ones greedy.
         num_transactions = self.coefficients.num_transactions
@@ -118,12 +132,9 @@ class IterativeRefinement:
             },
         )
         if final_qp:
-            partitioner = QpPartitioner(
-                self.coefficients, self.num_sites
-            )
-            refined = partitioner.solve(
-                time_limit=time_limit, gap=gap, backend=backend, warm_start=result
-            )
+            refined = self.advisor.advise(
+                qp_request(self.instance), warm_start=result
+            ).result
             refined.metadata["warm_start_objective"] = result.objective
             refined.wall_time += result.wall_time
             return refined

@@ -114,7 +114,7 @@ class SaPartitioner:
 
 
 def solve_sa(
-    instance: ProblemInstance,
+    instance: ProblemInstance | CostCoefficients,
     num_sites: int,
     parameters: CostParameters | None = None,
     options: SaOptions | None = None,
@@ -122,11 +122,19 @@ def solve_sa(
     restarts: int | None = None,
     jobs: int | None = None,
 ) -> PartitioningResult:
-    """One-call convenience wrapper around :class:`SaPartitioner`.
+    """One-call convenience wrapper: a thin shim over the unified
+    advisor API (``advise`` with strategy ``"sa"``), kept for
+    compatibility and pinned by test to return the same result as the
+    direct :class:`SaPartitioner` call.
 
     ``seed``, ``restarts`` and ``jobs`` override the corresponding
     :class:`SaOptions` fields when given.
     """
+    from dataclasses import asdict, replace
+
+    from repro.api.advisor import advise
+    from repro.api.request import SolveRequest
+
     overrides: dict[str, int] = {}
     if seed is not None:
         overrides["seed"] = seed
@@ -135,8 +143,21 @@ def solve_sa(
     if jobs is not None:
         overrides["jobs"] = jobs
     if overrides:
-        from dataclasses import replace
-
         options = replace(options or SaOptions(), **overrides)
-    partitioner = SaPartitioner(instance, num_sites, parameters=parameters, options=options)
-    return partitioner.solve()
+    if isinstance(instance, CostCoefficients):
+        # Prebuilt coefficients skip the advisor (which would rebuild
+        # them from the instance) and go to the partitioner directly.
+        return SaPartitioner(
+            instance, num_sites, parameters=parameters, options=options
+        ).solve()
+    option_fields = asdict(options or SaOptions())
+    disjoint = option_fields.pop("disjoint")
+    request = SolveRequest(
+        instance=instance,
+        num_sites=num_sites,
+        parameters=parameters or CostParameters(),
+        allow_replication=not disjoint,
+        strategy="sa",
+        options=option_fields,
+    )
+    return advise(request).result
