@@ -10,15 +10,17 @@ paper's "access all attributes" simplification overestimates writes.
 Run with:  python examples/simulator_validation.py
 """
 
-from repro import CostParameters, WriteAccounting, tpcc_instance
-from repro.qp import solve_qp
+from repro import CostParameters, SolveRequest, WriteAccounting, advise, tpcc_instance
 from repro.simulator import WorkloadSimulator
 
 
 def main() -> None:
     instance = tpcc_instance()
     parameters = CostParameters()
-    result = solve_qp(instance, num_sites=3, parameters=parameters, time_limit=60)
+    result = advise(SolveRequest(
+        instance, num_sites=3, parameters=parameters,
+        strategy="qp", time_limit=60,
+    )).result
     breakdown = result.breakdown()
 
     report = WorkloadSimulator(result).run()

@@ -8,9 +8,14 @@ automatically.
 Run with:  python examples/sql_workload.py
 """
 
-from repro import CostParameters, build_coefficients, single_site_partitioning
+from repro import (
+    CostParameters,
+    SolveRequest,
+    advise,
+    build_coefficients,
+    single_site_partitioning,
+)
 from repro.partition.layout import layout_summary
-from repro.qp import solve_qp
 from repro.sqlio import load_instance_from_sql
 
 SCHEMA_SQL = """
@@ -71,7 +76,10 @@ def main() -> None:
     coefficients = build_coefficients(instance, parameters)
     baseline = single_site_partitioning(coefficients)
 
-    result = solve_qp(instance, num_sites=2, parameters=parameters, time_limit=30)
+    result = advise(SolveRequest(
+        instance, num_sites=2, parameters=parameters,
+        strategy="qp", time_limit=30,
+    )).result
     reduction = 100 * (1 - result.objective / baseline.objective)
     print(f"instance: {instance.name} "
           f"(|A|={instance.num_attributes}, |T|={instance.num_transactions})")

@@ -12,9 +12,14 @@ Run with:  python examples/trace_driven_advisor.py
 
 import numpy as np
 
-from repro import CostParameters, build_coefficients, single_site_partitioning
+from repro import (
+    Advisor,
+    CostParameters,
+    SolveRequest,
+    build_coefficients,
+    single_site_partitioning,
+)
 from repro.instances import tatp_instance
-from repro.qp import solve_qp
 from repro.stats import QueryEvent, TraceCollector, reestimate_instance
 
 
@@ -54,13 +59,17 @@ def describe(result, baseline, label):
 def main() -> None:
     rng = np.random.default_rng(7)
     parameters = CostParameters()
+    advisor = Advisor()  # one advisor serves both solves
     guessed = tatp_instance()
     baseline = single_site_partitioning(
         build_coefficients(guessed, parameters)
     ).objective
 
     print("=== partitioning with the guessed (spec-mix) statistics ===")
-    before = solve_qp(guessed, num_sites=2, parameters=parameters, time_limit=30)
+    before = advisor.advise(SolveRequest(
+        guessed, num_sites=2, parameters=parameters,
+        strategy="qp", time_limit=30,
+    )).result
     describe(before, baseline, "spec-mix advisor")
 
     print("\n=== re-estimating statistics from the production trace ===")
@@ -75,7 +84,10 @@ def main() -> None:
     traced_baseline = single_site_partitioning(
         build_coefficients(traced, parameters)
     ).objective
-    after = solve_qp(traced, num_sites=2, parameters=parameters, time_limit=30)
+    after = advisor.advise(SolveRequest(
+        traced, num_sites=2, parameters=parameters,
+        strategy="qp", time_limit=30,
+    )).result
     describe(after, traced_baseline, "trace-driven advisor")
 
     moved_transactions = sum(

@@ -57,9 +57,11 @@ class SolveRequest:
     options:
         Per-strategy options (JSON-compatible values only). For ``"sa"``
         / ``"sa-portfolio"`` these mirror
-        :class:`~repro.sa.options.SaOptions` fields; for ``"qp"`` they
-        are ``gap``, ``backend``, ``latency``, ``symmetry_breaking``;
-        ``"auto"`` additionally honours ``auto_cutoff``.
+        :class:`~repro.sa.options.SaOptions` fields (including the
+        portfolio's execution ``backend`` and incumbent ``prune``
+        knobs); for ``"qp"`` they are ``gap``, ``backend``,
+        ``latency``, ``symmetry_breaking``; ``"auto"`` additionally
+        honours ``auto_cutoff``.
     seed:
         Master seed; fills the strategy's own seed option when that is
         not pinned in ``options``.

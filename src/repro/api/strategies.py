@@ -29,6 +29,11 @@ AUTO_QP_VARIABLE_CUTOFF = 20_000
 #: Default portfolio size for the "sa-portfolio" strategy.
 DEFAULT_PORTFOLIO_RESTARTS = 4
 
+#: The MIP backend spellings of ``QpPartitioner.solve`` (see
+#: ``repro/solver/model.py``) — used by "auto" to disambiguate the
+#: shared "backend" option key from the portfolio execution backends.
+_QP_MIP_BACKENDS = frozenset({"auto", "scratch", "scipy"})
+
 _QP_OPTION_KEYS = frozenset(
     {"gap", "backend", "latency", "symmetry_breaking", "time_limit"}
 )
@@ -123,8 +128,12 @@ def sa_strategy(request: SolveRequest, context: StrategyContext) -> Partitioning
 def sa_portfolio_strategy(
     request: SolveRequest, context: StrategyContext
 ) -> PartitioningResult:
-    """Best-of-N multi-start annealing (``restarts`` defaults to 4;
-    set ``restarts``/``jobs`` in the options)."""
+    """Best-of-N multi-start annealing (``restarts`` defaults to 4; set
+    ``restarts``/``jobs`` in the options, plus ``backend`` to pick an
+    execution backend from :mod:`repro.sa.backends` — "serial",
+    "process", "thread", "queue" — and ``prune`` to early-skip restarts
+    the shared incumbent proves unable to win; results are identical
+    whatever the backend or prune setting)."""
     _check_options(request, _SA_OPTION_KEYS, "sa-portfolio")
     options = _sa_options_from(request, restarts_default=DEFAULT_PORTFOLIO_RESTARTS)
     return SaPartitioner(
@@ -259,10 +268,32 @@ def auto_strategy(request: SolveRequest, context: StrategyContext) -> Partitioni
             picked, allowed = "sa", _SA_OPTION_KEYS
     context.notes["auto_pick"] = picked
     context.notes["auto_cutoff"] = cutoff
-    narrowed = request.with_(
-        strategy=picked,
-        options={k: v for k, v in options.items() if k in allowed},
-    )
+    narrowed_options = {k: v for k, v in options.items() if k in allowed}
+    if "backend" in narrowed_options:
+        # "backend" names two different things: the MIP backend for
+        # "qp" ("auto"/"scratch"/"scipy") and the portfolio execution
+        # backend for "sa" ("serial"/"process"/...).  Route the key by
+        # its value and drop it when it belongs to the road not taken —
+        # e.g. --backend queue with an auto->qp pick must not reach the
+        # MIP solver, and a qp-meant "scipy" must not reach SaOptions.
+        # A value belonging to *neither* registry is a misconfiguration:
+        # raise here (like every non-auto path would) instead of
+        # silently dropping it.
+        from repro.sa.backends import backend_names
+
+        value = narrowed_options["backend"]
+        if picked == "sa":
+            if value in _QP_MIP_BACKENDS:
+                del narrowed_options["backend"]
+            elif value not in backend_names():
+                raise OptionsError(
+                    f"unknown backend {value!r}: neither a portfolio "
+                    f"execution backend ({', '.join(backend_names())}) "
+                    f"nor a MIP backend ({', '.join(sorted(_QP_MIP_BACKENDS))})"
+                )
+        elif value in backend_names():
+            del narrowed_options["backend"]
+    narrowed = request.with_(strategy=picked, options=narrowed_options)
     strategy = qp_strategy if picked == "qp" else sa_strategy
     result = strategy(narrowed, context)
     result.metadata.setdefault("auto_pick", picked)

@@ -13,8 +13,9 @@ QP/SA formulation can be quantified:
 All baselines return feasible :class:`PartitioningResult` objects
 (read co-location is repaired by adding replicas where needed) and share
 the normalised ``(instance, num_sites, params, seed)`` call shape used
-by the :mod:`repro.api` registry adapters; the pre-API ``parameters=``
-keyword still works but emits a :class:`DeprecationWarning`.
+by the :mod:`repro.api` registry adapters.  The deprecated pre-API
+``parameters=`` spelling is documented in one place:
+:mod:`repro.baselines.signature`.
 """
 
 from repro.baselines.round_robin import round_robin_partitioning

@@ -2,9 +2,21 @@
 
 Every baseline partitioner takes ``(instance, num_sites, params, seed)``
 — matching the registry adapters in :mod:`repro.api.strategies` — with
-any extra tuning knobs keyword-only after that.  The pre-API keyword
-spelling ``parameters=`` is still accepted through one release but
-warns.
+any extra tuning knobs keyword-only after that.
+
+**The deprecated ``parameters=`` keyword** (canonical documentation —
+everywhere else links here): before the unified advisor API the
+baselines spelled the cost-model argument ``parameters=``.  That
+spelling is still accepted through one release, but
+
+* it raises a :class:`DeprecationWarning` pointing at the normalised
+  signature (``params=``),
+* passing both spellings at once is a :class:`TypeError` (the call is
+  ambiguous),
+* callers should migrate to ``params=`` — or better, to
+  :func:`repro.api.advise`, whose :class:`~repro.api.request.
+  SolveRequest` carries the parameters explicitly and never had the
+  old spelling.
 """
 
 from __future__ import annotations

@@ -13,6 +13,10 @@ PROFILE_ENV_VAR = "REPRO_BENCH_PROFILE"
 RESTARTS_ENV_VAR = "REPRO_BENCH_RESTARTS"
 #: Override the SA portfolio worker count for a bench run.
 JOBS_ENV_VAR = "REPRO_BENCH_JOBS"
+#: Override the portfolio execution backend for a bench run
+#: ("serial", "process", "thread" or "queue"; results are identical
+#: whatever the backend — only the execution path changes).
+BACKEND_ENV_VAR = "REPRO_BENCH_BACKEND"
 
 
 @dataclass(frozen=True)
@@ -79,7 +83,8 @@ def get_profile(name: str | None = None) -> BenchProfile:
     ``REPRO_BENCH_RESTARTS`` / ``REPRO_BENCH_JOBS`` layer a multi-start
     annealing portfolio on top of any profile without editing it:
     best-of-N restarts, optionally across N workers (see
-    :mod:`repro.sa.portfolio`).
+    :mod:`repro.sa.portfolio`); ``REPRO_BENCH_BACKEND`` selects the
+    portfolio execution backend (:mod:`repro.sa.backends`).
     """
     if name is None:
         name = os.environ.get(PROFILE_ENV_VAR, "quick")
@@ -95,6 +100,9 @@ def get_profile(name: str | None = None) -> BenchProfile:
     jobs = _int_env(JOBS_ENV_VAR)
     if jobs is not None:
         overrides["jobs"] = jobs
+    backend = os.environ.get(BACKEND_ENV_VAR)
+    if backend is not None and backend.strip():
+        overrides["backend"] = backend.strip()
     if overrides:
         profile = replace(profile, sa_options=replace(profile.sa_options, **overrides))
     return profile

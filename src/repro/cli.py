@@ -76,6 +76,10 @@ def _advise_request(
         portfolio["restarts"] = args.restarts
     if args.jobs is not None:
         portfolio["jobs"] = args.jobs
+    if args.backend is not None:
+        portfolio["backend"] = args.backend
+    if args.prune:
+        portfolio["prune"] = True
 
     if "restarts" in portfolio and not any(
         stage in _PORTFOLIO_STRATEGIES or stage == "hillclimb"
@@ -85,13 +89,14 @@ def _advise_request(
             "--restarts configures the SA multi-start portfolio (or the "
             "hillclimb baseline); use an SA-family solver with it"
         )
-    if "jobs" in portfolio and not any(
-        stage in _PORTFOLIO_STRATEGIES for stage in stages
-    ):
-        raise ReproError(
-            "--jobs configures the SA multi-start portfolio; use an "
-            "SA-family solver with it"
-        )
+    for flag, key in (("--jobs", "jobs"), ("--backend", "backend"), ("--prune", "prune")):
+        if key in portfolio and not any(
+            stage in _PORTFOLIO_STRATEGIES for stage in stages
+        ):
+            raise ReproError(
+                f"{flag} configures the SA multi-start portfolio; use an "
+                f"SA-family solver with it"
+            )
 
     def stage_options(stage: str) -> dict:
         if stage in _PORTFOLIO_STRATEGIES:
@@ -143,11 +148,14 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     if report.strategy != args.solver:
         print(f"strategy      : {args.solver} -> resolved {report.strategy}")
     if result.metadata.get("restarts", 1) > 1:
+        pruned = result.metadata.get("pruned_restarts", 0)
         print(
             f"portfolio     : best-of-{result.metadata['restarts']} "
             f"(restart {result.metadata['best_restart']} won, "
             f"jobs={result.metadata['jobs']}, "
-            f"{result.metadata['executor']} executor)"
+            f"{result.metadata['executor']} executor"
+            + (f", {pruned} pruned" if pruned else "")
+            + ")"
         )
     print(f"sites         : {args.sites}")
     print(f"objective (4) : {result.objective:.0f}")
@@ -223,6 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for --restarts > 1 "
                         "(results are identical for any value, only "
                         "wall-clock changes)")
+    advise.add_argument("--backend", default=None,
+                        help="portfolio execution backend: serial, "
+                        "process, thread or queue (default: serial for "
+                        "one worker slot, process otherwise; results "
+                        "are identical whatever the backend)")
+    advise.add_argument("--prune", action="store_true",
+                        help="early-prune portfolio restarts the shared "
+                        "incumbent proves unable to beat the best found "
+                        "(skips work only — never changes the result)")
     advise.add_argument("--layout", action="store_true",
                         help="print the full Table-4-style layout")
     advise.set_defaults(func=_cmd_advise)

@@ -8,11 +8,29 @@ attributes) and accepting worse solutions with probability
 ``exp(-delta / tau)`` under a geometric cooling schedule. The initial
 temperature follows Section 5.1: accept a 5%-worse solution with 50%
 probability in the first iterations.
+
+``SaOptions(restarts=N)`` runs a best-of-N multi-start portfolio
+(:mod:`repro.sa.portfolio`) over a pluggable execution backend
+(:mod:`repro.sa.backends`: serial, process pool, or a JSON task
+queue), deterministic per master seed whatever runs where.  Library
+callers normally reach all of this through :func:`repro.api.advise`
+with strategy ``"sa"`` / ``"sa-portfolio"``; :func:`solve_sa` remains
+as a thin shim over that entry point.
 """
 
 from repro.sa.options import SaOptions
 from repro.sa.annealer import SimulatedAnnealer
 from repro.sa.portfolio import PortfolioResult, RestartOutcome, derive_restart_seeds, run_portfolio
+from repro.sa.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    QueueBackend,
+    SerialBackend,
+    SharedIncumbent,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.sa.solver import SaPartitioner, solve_sa
 
 __all__ = [
@@ -24,4 +42,12 @@ __all__ = [
     "RestartOutcome",
     "derive_restart_seeds",
     "run_portfolio",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "QueueBackend",
+    "SharedIncumbent",
+    "backend_names",
+    "get_backend",
+    "register_backend",
 ]

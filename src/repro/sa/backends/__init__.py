@@ -1,0 +1,83 @@
+"""Pluggable execution backends for the SA restart portfolio.
+
+The portfolio (:mod:`repro.sa.portfolio`) separates *what* to run — a
+list of ``(restart_index, seed)`` tasks over shipped coefficients —
+from *how* to run it.  Backends implement the
+:class:`~repro.sa.backends.base.ExecutionBackend` protocol and register
+under a name selectable via ``SaOptions(backend=...)``:
+
+* ``"serial"`` — sequential in the calling process (default for
+  ``jobs=1``); the reference semantics everything else is pinned to;
+* ``"process"`` — a ``concurrent.futures`` process pool (default for
+  ``jobs>1``), falling back to threads where the platform cannot
+  fork/pickle;
+* ``"thread"`` — the GIL-bound thread pool, forced;
+* ``"queue"`` — restarts serialised as JSON task envelopes (built on
+  ``SolveRequest``'s round-trip format) and served by a worker loop:
+  the wire format for moving the portfolio beyond one box, driven
+  in-process here so it is fully testable locally.
+
+All backends share one :class:`~repro.sa.backends.incumbent.SharedIncumbent`
+per portfolio run (best objective + a provable lower bound) and, with
+``SaOptions(prune=True)``, early-prune restarts the incumbent proves
+unable to win.  Whatever the backend, jobs count or prune setting, the
+returned best is bitwise identical per master seed — backends may only
+*skip* work, never change results.
+
+User backends register with :func:`register_backend`::
+
+    from repro.sa.backends import register_backend
+
+    register_backend("my-grid", lambda: MyGridBackend(...))
+"""
+
+from repro.sa.backends.base import (
+    BackendRun,
+    ExecutionBackend,
+    PortfolioPlan,
+    RestartOutcome,
+    RestartTask,
+    backend_names,
+    get_backend,
+    register_backend,
+    restart_options,
+    run_restart,
+)
+from repro.sa.backends.incumbent import SharedIncumbent
+from repro.sa.backends.pool import ProcessPoolBackend
+from repro.sa.backends.queue import (
+    QueueBackend,
+    QueueWorker,
+    decode_restart_result,
+    decode_restart_task,
+    encode_restart_result,
+    encode_restart_task,
+)
+from repro.sa.backends.serial import SerialBackend
+
+register_backend(SerialBackend.name, SerialBackend)
+register_backend("process", ProcessPoolBackend)
+register_backend("thread", lambda: ProcessPoolBackend(use_threads=True))
+register_backend(QueueBackend.name, QueueBackend)
+
+__all__ = [
+    "BackendRun",
+    "ExecutionBackend",
+    "PortfolioPlan",
+    "ProcessPoolBackend",
+    "QueueBackend",
+    "QueueWorker",
+    "RestartOutcome",
+    "RestartTask",
+    "SerialBackend",
+    "SharedIncumbent",
+    "backend_names",
+    "decode_restart_result",
+    "decode_restart_task",
+    "encode_restart_result",
+    "encode_restart_task",
+    "get_backend",
+    "register_backend",
+    "restart_options",
+    "run_restart",
+]

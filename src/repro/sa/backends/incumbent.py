@@ -1,0 +1,89 @@
+"""The shared incumbent: best objective + bound published between restarts.
+
+Restarts of a portfolio are independent anneals, but the *driver* that
+schedules them shares one :class:`SharedIncumbent`: every finished
+restart publishes its objective (6), and before launching the next task
+a backend may ask whether that task is provably unable to win.
+
+The proof is deliberately conservative.  A restart ``i`` "cannot win"
+only when
+
+* the incumbent's objective has reached a sound *lower bound* on
+  objective (6) over all feasible solutions
+  (:func:`repro.costmodel.evaluator.objective6_lower_bound`), so no
+  restart can return anything strictly better, **and**
+* the incumbent's restart index is smaller than ``i``, so even a restart
+  that *ties* the bound loses the portfolio's deterministic
+  ``(objective6, restart_index)`` tie-break.
+
+Under those two conditions skipping restart ``i`` can never change the
+best-of-N result — pruning only skips work.  The bound itself stays
+sound in float arithmetic: where its sums are not provably exact it
+retreats by an accumulated-rounding margin (see
+:func:`~repro.costmodel.evaluator.objective6_lower_bound`), so rounding
+can only make pruning fire less often, never wrongly.  This is what keeps all
+execution backends bitwise-identical per master seed whether pruning is
+on or off (pinned by ``tests/test_sa_backends.py``).
+
+The incumbent is driver-side state: process-pool workers never see it
+(prune decisions are made in the submitting process between restarts),
+so a plain ``threading.Lock`` is enough for the thread-pool fallback.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SharedIncumbent:
+    """Best objective seen so far plus the provable lower bound.
+
+    ``lower_bound`` defaults to ``-inf`` (no proof possible — pruning
+    never triggers); :func:`repro.sa.portfolio.run_portfolio` fills it
+    from :func:`~repro.costmodel.evaluator.objective6_lower_bound` when
+    pruning is requested.
+    """
+
+    lower_bound: float = -math.inf
+    best_objective: float = math.inf
+    best_restart: int | None = None
+    #: How many restarts have been published.
+    published: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def publish(self, objective6: float, restart: int) -> None:
+        """Record a finished restart; keeps the ``(objective, restart)``
+        minimum so the incumbent never depends on completion order."""
+        with self._lock:
+            self.published += 1
+            if self.best_restart is None or (objective6, restart) < (
+                self.best_objective,
+                self.best_restart,
+            ):
+                self.best_objective = objective6
+                self.best_restart = restart
+
+    def proves_unbeatable(self, restart: int) -> bool:
+        """True iff skipping ``restart`` provably cannot change the best.
+
+        Requires the incumbent to have *reached* the lower bound (no
+        strictly better solution exists) **and** to carry a smaller
+        restart index (a tie would lose the deterministic tie-break
+        anyway).  With the default ``-inf`` bound this is always False.
+        """
+        with self._lock:
+            return (
+                self.best_restart is not None
+                and self.best_restart < restart
+                and self.best_objective <= self.lower_bound
+            )
+
+    def snapshot(self) -> tuple[float, int | None]:
+        """The current ``(best_objective, best_restart)`` pair."""
+        with self._lock:
+            return self.best_objective, self.best_restart

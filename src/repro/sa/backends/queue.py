@@ -1,0 +1,321 @@
+"""Queue execution: restarts as JSON task envelopes, workers as loops.
+
+This is the wire format for moving the portfolio beyond one box.  Each
+restart is serialised into a *task envelope* — a JSON document built on
+:class:`~repro.api.request.SolveRequest`'s exact round-trip format, so a
+task carries everything a remote worker needs (instance, parameters,
+single-run options, seed) and nothing it doesn't (no pickled arrays, no
+process state).  A worker decodes the envelope, rebuilds the
+coefficients, runs the anneal and returns a *result envelope*; both
+sides are plain JSON strings, so any transport (an in-memory deque here,
+a real message queue on a sharded deployment) can carry them.
+
+Determinism contract:
+
+* task envelopes contain only deterministic fields and are dumped with
+  sorted keys, so encoding the same restart twice — including on retry,
+  whose attempt bookkeeping stays driver-side — yields identical bytes
+  (absent a running portfolio deadline, which is folded into the
+  per-run ``time_limit`` at dispatch time);
+* result envelopes exclude wall-clock measurements, so *replaying* a
+  task envelope returns a byte-identical result envelope — the
+  at-least-once delivery of a real queue (retries, duplicate
+  deliveries) cannot change the portfolio's best;
+* a worker that raises mid-restart is retried: the task is requeued
+  (bounded by ``max_retries`` attempts per restart) and, because the
+  task is a pure function of the envelope, the retry reproduces exactly
+  the outcome the failed attempt would have returned.
+
+The :class:`QueueBackend` here drives an in-process worker loop so the
+whole protocol is testable locally; ``jobs`` does not parallelise it
+(that is what the ``"process"`` backend is for) — the queue backend's
+value is the envelope protocol itself.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+from repro.costmodel.coefficients import CostCoefficients, build_coefficients
+from repro.exceptions import OptionsError, SolverError
+from repro.sa.backends.base import (
+    BackendRun,
+    PortfolioPlan,
+    RestartOutcome,
+    RestartTask,
+    restart_options,
+)
+from repro.sa.options import SaOptions
+
+#: Version stamp of both envelope documents.
+ENVELOPE_FORMAT_VERSION = 1
+TASK_KIND = "sa-restart"
+RESULT_KIND = "sa-restart-result"
+
+
+# ----------------------------------------------------------------------
+# Task envelopes (driver -> worker)
+# ----------------------------------------------------------------------
+def encode_restart_task(
+    coefficients: CostCoefficients,
+    num_sites: int,
+    options: SaOptions,
+    task: RestartTask,
+    remaining: float | None = None,
+) -> str:
+    """Serialise one restart into its JSON task envelope.
+
+    The payload's ``request`` member is a full
+    :class:`~repro.api.request.SolveRequest` document (strategy
+    ``"sa"``, single-run options, the task's seed), so the envelope
+    round-trips through the same format a service front end would
+    accept.  ``remaining`` folds what is left of a portfolio budget into
+    the run's ``time_limit`` at dispatch time.  Retry bookkeeping stays
+    driver-side (:attr:`QueueBackend.failures`) so a retried task
+    re-encodes to the exact same bytes — transports can use the
+    envelope itself as a dedup/idempotency key.
+    """
+    from repro.api.request import SolveRequest
+
+    single = restart_options(options, task.seed, remaining)
+    option_fields = asdict(single)
+    # disjoint rides on the request's replication mode, exactly like the
+    # advisor's "sa" strategy adapter expects it.
+    disjoint = option_fields.pop("disjoint")
+    request = SolveRequest(
+        instance=coefficients.instance,
+        num_sites=num_sites,
+        parameters=coefficients.parameters,
+        allow_replication=not disjoint,
+        strategy="sa",
+        options=option_fields,
+        seed=task.seed,
+    )
+    envelope = {
+        "format_version": ENVELOPE_FORMAT_VERSION,
+        "kind": TASK_KIND,
+        "restart": task.restart,
+        "request": request.to_dict(),
+    }
+    return json.dumps(envelope, sort_keys=True)
+
+
+def decode_restart_task(envelope: str) -> dict[str, Any]:
+    """Parse and validate a task envelope (returns the payload dict)."""
+    payload = json.loads(envelope)
+    version = payload.get("format_version")
+    if version != ENVELOPE_FORMAT_VERSION:
+        raise OptionsError(
+            f"unsupported task envelope format_version {version!r} "
+            f"(this build reads version {ENVELOPE_FORMAT_VERSION})"
+        )
+    if payload.get("kind") != TASK_KIND:
+        raise OptionsError(
+            f"expected a {TASK_KIND!r} envelope, got kind {payload.get('kind')!r}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Result envelopes (worker -> driver)
+# ----------------------------------------------------------------------
+def encode_restart_result(
+    restart: int,
+    seed: int | None,
+    x: np.ndarray,
+    y: np.ndarray,
+    objective6: float,
+    iterations: int,
+    accepted: int,
+    accepted_worse: int,
+    outer_loops: int,
+) -> str:
+    """Serialise one finished restart.  Deterministic fields only — no
+    wall-clock — so replaying a task envelope is byte-identical."""
+    envelope = {
+        "format_version": ENVELOPE_FORMAT_VERSION,
+        "kind": RESULT_KIND,
+        "restart": restart,
+        "seed": seed,
+        "objective6": float(objective6),
+        "x": np.asarray(x, dtype=int).tolist(),
+        "y": np.asarray(y, dtype=int).tolist(),
+        "iterations": int(iterations),
+        "accepted": int(accepted),
+        "accepted_worse": int(accepted_worse),
+        "outer_loops": int(outer_loops),
+    }
+    return json.dumps(envelope, sort_keys=True)
+
+
+def decode_restart_result(envelope: str, wall_time: float = 0.0) -> RestartOutcome:
+    """Rebuild a :class:`RestartOutcome` from a result envelope.
+
+    ``wall_time`` is supplied by the driver (it is transport-dependent
+    and deliberately not part of the wire format).
+    """
+    payload = json.loads(envelope)
+    version = payload.get("format_version")
+    if version != ENVELOPE_FORMAT_VERSION:
+        raise OptionsError(
+            f"unsupported result envelope format_version {version!r} "
+            f"(this build reads version {ENVELOPE_FORMAT_VERSION})"
+        )
+    if payload.get("kind") != RESULT_KIND:
+        raise OptionsError(
+            f"expected a {RESULT_KIND!r} envelope, got kind {payload.get('kind')!r}"
+        )
+    return RestartOutcome(
+        restart=int(payload["restart"]),
+        seed=payload["seed"],
+        x=np.asarray(payload["x"], dtype=bool),
+        y=np.asarray(payload["y"], dtype=bool),
+        objective6=float(payload["objective6"]),
+        iterations=int(payload["iterations"]),
+        accepted=int(payload["accepted"]),
+        accepted_worse=int(payload["accepted_worse"]),
+        outer_loops=int(payload["outer_loops"]),
+        wall_time=wall_time,
+    )
+
+
+def _check_wire_safe(coefficients: CostCoefficients) -> None:
+    """Reject coefficients the wire format cannot represent faithfully.
+
+    A task envelope carries only ``(instance, parameters)`` — the
+    worker *rebuilds* the coefficient arrays canonically.  Coefficients
+    built non-canonically (custom indicators, hand-tweaked weights)
+    would silently anneal a different problem on the queue than on the
+    serial/process backends, breaking the cross-backend bitwise
+    contract, so they are refused up front.  One canonical rebuild per
+    portfolio run — the same work every queue worker does per task.
+    """
+    rebuilt = build_coefficients(coefficients.instance, coefficients.parameters)
+    shipped_arrays = (
+        coefficients.weights, coefficients.c1, coefficients.c2,
+        coefficients.c3, coefficients.c4,
+        coefficients.indicators.alpha, coefficients.indicators.beta,
+        coefficients.indicators.gamma, coefficients.indicators.delta,
+        coefficients.indicators.phi, coefficients.indicators.rows,
+    )
+    rebuilt_arrays = (
+        rebuilt.weights, rebuilt.c1, rebuilt.c2, rebuilt.c3, rebuilt.c4,
+        rebuilt.indicators.alpha, rebuilt.indicators.beta,
+        rebuilt.indicators.gamma, rebuilt.indicators.delta,
+        rebuilt.indicators.phi, rebuilt.indicators.rows,
+    )
+    for shipped, canonical in zip(shipped_arrays, rebuilt_arrays):
+        if shipped.shape != canonical.shape or not np.array_equal(
+            shipped, canonical
+        ):
+            raise OptionsError(
+                "the queue backend ships (instance, parameters) and "
+                "rebuilds coefficients canonically, but these "
+                "coefficients differ from build_coefficients(instance, "
+                "parameters) — non-canonical coefficients (custom "
+                "indicators or edited arrays) cannot go over the wire; "
+                "use the serial or process backend for them"
+            )
+
+
+class QueueWorker:
+    """The worker side of the queue protocol: one envelope in, one out.
+
+    Stateless and pure: the returned result envelope is a function of
+    the task envelope alone, which is what makes retries and duplicate
+    deliveries safe.  Subclass and override :meth:`run` (calling
+    ``super().run``) to inject faults in tests.
+    """
+
+    def run(self, envelope: str) -> str:
+        from repro.api.request import SolveRequest
+        from repro.sa.annealer import SimulatedAnnealer
+
+        payload = decode_restart_task(envelope)
+        request = SolveRequest.from_dict(payload["request"])
+        options = SaOptions(
+            **dict(request.options), disjoint=not request.allow_replication
+        )
+        coefficients = build_coefficients(request.instance, request.parameters)
+        annealer = SimulatedAnnealer(coefficients, request.num_sites, options)
+        x, y, objective6 = annealer.run()
+        return encode_restart_result(
+            restart=int(payload["restart"]),
+            seed=request.seed,
+            x=x,
+            y=y,
+            objective6=objective6,
+            iterations=annealer.trace.iterations,
+            accepted=annealer.trace.accepted,
+            accepted_worse=annealer.trace.accepted_worse,
+            outer_loops=annealer.trace.outer_loops,
+        )
+
+
+class QueueBackend:
+    """Drive the restart queue with an in-process worker loop.
+
+    Tasks are enqueued in restart order and popped FIFO; a task whose
+    worker raises is requeued at the back until it has been attempted
+    ``max_retries + 1`` times, after which the portfolio fails with
+    :class:`~repro.exceptions.SolverError` (a lost restart would
+    silently change the best-of-N result, which the determinism
+    contract forbids).
+    """
+
+    name = "queue"
+
+    def __init__(self, worker: QueueWorker | None = None, max_retries: int = 2):
+        self.worker = worker or QueueWorker()
+        self.max_retries = max_retries
+        #: Per-restart *failed* attempt counts of the last run (for
+        #: tests/metrics); fault-free restarts never appear here.
+        self.failures: dict[int, int] = {}
+
+    def run(self, plan: PortfolioPlan) -> BackendRun:
+        _check_wire_safe(plan.coefficients)
+        run = BackendRun(outcomes=[], kind=self.name)
+        queue: deque[RestartTask] = deque(plan.tasks())
+        self.failures = {}
+        while queue:
+            task = queue.popleft()
+            if task.restart > 0 and plan.expired():
+                run.cancelled += 1
+                continue
+            if plan.should_prune(task.restart):
+                run.pruned += 1
+                continue
+            failed = self.failures.get(task.restart, 0)
+            envelope = encode_restart_task(
+                plan.coefficients,
+                plan.num_sites,
+                plan.options,
+                task,
+                remaining=plan.remaining(),
+            )
+            started = time.perf_counter()
+            try:
+                result = self.worker.run(envelope)
+            except Exception as error:
+                self.failures[task.restart] = failed + 1
+                if failed + 1 > self.max_retries:
+                    raise SolverError(
+                        f"queue worker failed restart {task.restart} "
+                        f"{failed + 1} times (max_retries={self.max_retries}): "
+                        f"{type(error).__name__}: {error}"
+                    ) from error
+                queue.append(task)
+                continue
+            outcome = decode_restart_result(
+                result, wall_time=time.perf_counter() - started
+            )
+            plan.publish(outcome)
+            run.outcomes.append(outcome)
+        run.outcomes.sort(key=lambda outcome: outcome.restart)
+        return run

@@ -69,6 +69,17 @@ class SaOptions:
     #: cancelled; running stragglers are cut short via their own
     #: ``time_limit``.
     portfolio_time_limit: float | None = None
+    #: Execution backend for the restart portfolio: a name registered in
+    #: :mod:`repro.sa.backends` ("serial", "process", "thread",
+    #: "queue"), or ``None`` for the historical default (serial for one
+    #: worker slot, the process pool otherwise).  The returned best is
+    #: bitwise identical per master seed whatever the backend.
+    backend: str | None = None
+    #: Publish the best objective between restarts on a shared incumbent
+    #: and skip restarts provably unable to beat it (the incumbent has
+    #: reached the objective's lower bound with an earlier index).
+    #: Pruning only skips work — it never changes the returned best.
+    prune: bool = False
 
     def __post_init__(self) -> None:
         self.validate()
@@ -109,6 +120,15 @@ class SaOptions:
                 f"portfolio_time_limit must be positive seconds, got "
                 f"{self.portfolio_time_limit}"
             )
+        if self.backend is not None:
+            # Imported lazily: the backends package imports this module.
+            from repro.sa.backends import backend_names
+
+            if self.backend not in backend_names():
+                raise OptionsError(
+                    f"unknown execution backend {self.backend!r}; "
+                    f"registered: {', '.join(backend_names())}"
+                )
 
 
 #: A configuration tuned for speed, used by the large Table-1 sweeps.

@@ -4,10 +4,11 @@ The paper's SA heuristic is restart-friendly by construction and PR 1
 made per-solution state cheap (one independent
 :class:`~repro.costmodel.incremental.IncrementalEvaluator` per run), so
 a portfolio of ``restarts`` annealing runs is the cheapest way to buy
-solution quality on the Table 1/3 experiment sweeps.  This module runs
-the restarts — serially or across a ``concurrent.futures`` worker pool —
-tracks the global incumbent and returns a deterministic best-of-N
-result:
+solution quality on the Table 1/3 experiment sweeps.  This module plans
+the restarts and picks the winner; *executing* them is delegated to a
+pluggable :mod:`repro.sa.backends` backend (in-process serial, a
+process/thread pool, or a JSON task queue), selected via
+``SaOptions(backend=...)``:
 
 * restart 0 reuses the master seed itself, so ``restarts=1`` reproduces
   the single-run trajectory exactly and best-of-N can never be worse
@@ -17,49 +18,40 @@ result:
   portfolio is reproducible end to end;
 * the incumbent is chosen by ``(objective6, restart_index)``, which does
   not depend on completion order — for a fixed master seed the result is
-  identical for ``jobs=1`` and ``jobs=8`` (absent time limits, which
-  truncate runs nondeterministically by their nature);
+  identical for any backend and any ``jobs`` value (absent time limits,
+  which truncate runs nondeterministically by their nature);
 * ``portfolio_time_limit`` bounds the whole portfolio: restarts not yet
   started when the budget runs out are cancelled, and running stragglers
   are cut short through the annealer's own wall-clock guard (every such
   exit still routes through the collapsed one-site guard, so truncated
-  restarts return valid solutions).
-
-Workers default to processes (the annealing inner loop is Python-bound,
-so threads cannot scale it) with the coefficients shipped once per
-worker; environments that cannot fork/pickle fall back to threads, and
-``jobs=1`` never leaves the calling process.
+  restarts return valid solutions);
+* with ``SaOptions(prune=True)`` a :class:`~repro.sa.backends.incumbent.
+  SharedIncumbent` publishes the best objective between restarts and
+  backends skip restarts provably unable to win (the incumbent reached
+  :func:`~repro.costmodel.evaluator.objective6_lower_bound` with an
+  earlier index).  Pruning only ever skips work — the returned best is
+  bitwise identical with pruning on or off.
 """
 
 from __future__ import annotations
 
-import os
 import time
-import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.costmodel.coefficients import CostCoefficients
+from repro.costmodel.evaluator import objective6_lower_bound
 from repro.exceptions import SolverError
+from repro.sa import backends as execution_backends
+from repro.sa.backends import (
+    ExecutionBackend,
+    PortfolioPlan,
+    RestartOutcome,
+    SharedIncumbent,
+    run_restart as _run_restart,
+)
 from repro.sa.options import SaOptions
-
-
-@dataclass(frozen=True)
-class RestartOutcome:
-    """Result of one annealing restart inside a portfolio."""
-
-    restart: int
-    seed: int | None
-    x: np.ndarray
-    y: np.ndarray
-    objective6: float
-    iterations: int
-    accepted: int
-    accepted_worse: int
-    outer_loops: int
-    wall_time: float
 
 
 @dataclass
@@ -75,6 +67,9 @@ class PortfolioResult:
     outcomes: list[RestartOutcome] = field(default_factory=list)
     #: Restarts cancelled by ``portfolio_time_limit`` before starting.
     cancelled: int = 0
+    #: Restarts skipped because the shared incumbent proved they cannot
+    #: beat the best already found (``SaOptions(prune=True)`` only).
+    pruned: int = 0
 
     @property
     def restart_seeds(self) -> list[int | None]:
@@ -119,101 +114,39 @@ def derive_restart_seeds(master_seed: int | None, restarts: int) -> list[int | N
     return seeds
 
 
-def _restart_options(
-    options: SaOptions, seed: int | None, remaining: float | None
-) -> SaOptions:
-    """Single-run options for one restart under the portfolio budget."""
-    time_limit = options.time_limit
-    if remaining is not None:
-        remaining = max(remaining, 0.0)
-        time_limit = remaining if time_limit is None else min(time_limit, remaining)
-    return replace(
-        options,
-        seed=seed,
-        restarts=1,
-        jobs=1,
-        portfolio_time_limit=None,
-        time_limit=time_limit,
-    )
+def resolve_backend(
+    options: SaOptions, backend: str | ExecutionBackend | None = None
+) -> ExecutionBackend:
+    """The execution backend for one portfolio run.
 
-
-def _run_restart(
-    coefficients: CostCoefficients,
-    num_sites: int,
-    options: SaOptions,
-    restart: int,
-    seed: int | None,
-    deadline: float | None,
-) -> RestartOutcome:
-    """Run one restart (worker side); honours the shared deadline."""
-    from repro.sa.annealer import SimulatedAnnealer
-
-    remaining = None if deadline is None else deadline - time.monotonic()
-    started = time.perf_counter()
-    annealer = SimulatedAnnealer(
-        coefficients, num_sites, _restart_options(options, seed, remaining)
-    )
-    x, y, objective6 = annealer.run()
-    return RestartOutcome(
-        restart=restart,
-        seed=seed,
-        x=x,
-        y=y,
-        objective6=objective6,
-        iterations=annealer.trace.iterations,
-        accepted=annealer.trace.accepted,
-        accepted_worse=annealer.trace.accepted_worse,
-        outer_loops=annealer.trace.outer_loops,
-        wall_time=time.perf_counter() - started,
-    )
-
-
-# -- process-pool plumbing (state shipped once per worker) --------------
-_WORKER_STATE: dict = {}
-
-
-def _init_worker(coefficients: CostCoefficients, num_sites: int, options: SaOptions) -> None:
-    _WORKER_STATE["args"] = (coefficients, num_sites, options)
-
-
-def _run_restart_in_worker(
-    restart: int, seed: int | None, deadline: float | None
-) -> RestartOutcome:
-    coefficients, num_sites, options = _WORKER_STATE["args"]
-    return _run_restart(coefficients, num_sites, options, restart, seed, deadline)
-
-
-def _make_executor(coefficients, num_sites, options, jobs):
-    """Process pool when the platform allows it, threads otherwise."""
-    executor = None
-    try:
-        executor = ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(coefficients, num_sites, options),
-        )
-        # Surface fork/pickling failures now, not at result time.
-        executor.submit(os.getpid).result(timeout=30)
-        return executor, "process"
-    except Exception as error:
-        if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
-        warnings.warn(
-            f"SA portfolio falling back to threads (GIL-bound; expect "
-            f"little speedup from jobs={jobs}): process pool unavailable "
-            f"({type(error).__name__}: {error})",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return ThreadPoolExecutor(max_workers=jobs), "thread"
+    Precedence: an explicit ``backend`` argument (a registered name or a
+    ready-made instance), then ``options.backend``, then the historical
+    default — serial in-process for one worker slot, the process pool
+    otherwise.
+    """
+    if backend is None:
+        backend = options.backend
+    if backend is None:
+        jobs = min(options.jobs, options.restarts)
+        backend = "serial" if jobs <= 1 else "process"
+    if isinstance(backend, str):
+        return execution_backends.get_backend(backend)
+    return backend
 
 
 def run_portfolio(
     coefficients: CostCoefficients,
     num_sites: int,
     options: SaOptions | None = None,
+    backend: str | ExecutionBackend | None = None,
 ) -> PortfolioResult:
-    """Run the multi-start portfolio and return the best-of-N result."""
+    """Run the multi-start portfolio and return the best-of-N result.
+
+    ``backend`` overrides ``options.backend`` (mainly for tests that
+    inject preconfigured backends, e.g. a
+    :class:`~repro.sa.backends.queue.QueueBackend` with a faulty
+    worker).
+    """
     options = options or SaOptions()
     options.validate()
     started = time.perf_counter()
@@ -222,65 +155,28 @@ def run_portfolio(
     if options.portfolio_time_limit is not None:
         deadline = time.monotonic() + options.portfolio_time_limit
 
-    outcomes: list[RestartOutcome] = []
-    cancelled = 0
-    jobs = min(options.jobs, options.restarts)
-    if jobs <= 1:
-        executor_kind = "serial"
-        for restart, seed in enumerate(seeds):
-            if (
-                restart > 0
-                and deadline is not None
-                and time.monotonic() >= deadline
-            ):
-                cancelled += 1
-                continue
-            outcomes.append(
-                _run_restart(coefficients, num_sites, options, restart, seed, deadline)
-            )
-    else:
-        executor, executor_kind = _make_executor(
-            coefficients, num_sites, options, jobs
-        )
-        with executor:
-            if executor_kind == "process":
-                futures = {
-                    executor.submit(_run_restart_in_worker, restart, seed, deadline): restart
-                    for restart, seed in enumerate(seeds)
-                }
-            else:
-                futures = {
-                    executor.submit(
-                        _run_restart, coefficients, num_sites, options,
-                        restart, seed, deadline,
-                    ): restart
-                    for restart, seed in enumerate(seeds)
-                }
-            pending = set(futures)
-            while pending:
-                timeout = None
-                if deadline is not None:
-                    timeout = max(deadline - time.monotonic(), 0.0)
-                done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
-                for future in done:
-                    outcomes.append(future.result())
-                if deadline is not None and time.monotonic() >= deadline:
-                    # Budget spent: cancel restarts that have not started;
-                    # already-running stragglers stop through their own
-                    # wall-clock guard and are still collected (blocking
-                    # from here on — the deadline has done its job).
-                    for future in list(pending):
-                        if future.cancel():
-                            pending.discard(future)
-                            cancelled += 1
-                    deadline = None
-        outcomes.sort(key=lambda outcome: outcome.restart)
+    incumbent = SharedIncumbent()
+    if options.prune:
+        incumbent.lower_bound = objective6_lower_bound(coefficients, num_sites)
+    plan = PortfolioPlan(
+        coefficients=coefficients,
+        num_sites=num_sites,
+        options=options,
+        seeds=seeds,
+        deadline=deadline,
+        incumbent=incumbent,
+        prune=options.prune,
+    )
+    executor = resolve_backend(options, backend)
+    run = executor.run(plan)
+    outcomes = sorted(run.outcomes, key=lambda outcome: outcome.restart)
+    cancelled = run.cancelled
 
     if not outcomes:
-        # Degenerate budget (even restart 0's future got cancelled): run
-        # restart 0 inline with an already-expired deadline, so it exits
-        # straight through the collapsed-layout guard — the caller always
-        # gets a solution back without blowing the spent budget.
+        # Degenerate budget (even restart 0 got cancelled): run restart
+        # 0 inline with an already-expired deadline, so it exits
+        # straight through the collapsed-layout guard — the caller
+        # always gets a solution back without blowing the spent budget.
         outcomes.append(
             _run_restart(
                 coefficients, num_sites, options, 0, seeds[0], time.monotonic()
@@ -294,8 +190,9 @@ def run_portfolio(
         y=best.y,
         objective6=best.objective6,
         best_restart=best.restart,
-        executor=executor_kind,
+        executor=run.kind,
         wall_time=time.perf_counter() - started,
         outcomes=outcomes,
         cancelled=cancelled,
+        pruned=run.pruned,
     )

@@ -50,9 +50,15 @@ class SaPartitioner:
         self.options.validate()
 
     def solve(self) -> PartitioningResult:
-        if self.options.restarts > 1 or self.options.portfolio_time_limit is not None:
+        if (
+            self.options.restarts > 1
+            or self.options.portfolio_time_limit is not None
+            or self.options.backend is not None
+        ):
             # A portfolio budget on a single restart still routes through
-            # the portfolio so the deadline is honoured.
+            # the portfolio so the deadline is honoured; an explicit
+            # execution backend routes through the portfolio so the
+            # backend is exercised even for restarts=1.
             return self._solve_portfolio()
         started = time.perf_counter()
         annealer = SimulatedAnnealer(self.coefficients, self.num_sites, self.options)
@@ -109,6 +115,7 @@ class SaPartitioner:
                 "restart_seeds": portfolio.restart_seeds,
                 "restart_objectives": portfolio.restart_objectives,
                 "cancelled_restarts": portfolio.cancelled,
+                "pruned_restarts": portfolio.pruned,
             },
         )
 

@@ -691,7 +691,7 @@ class TestCliRequestMapping:
         defaults = dict(
             solver="sa", sites=2, penalty=8.0, load_balance=0.1,
             disjoint=False, time_limit=None, seed=None, restarts=None,
-            jobs=None,
+            jobs=None, backend=None, prune=False,
         )
         defaults.update(overrides)
         return argparse.Namespace(**defaults)

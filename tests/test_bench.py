@@ -65,6 +65,17 @@ class TestProfiles:
         large = profile.sa_for(1000)
         assert large.max_outer_loops <= small.max_outer_loops
 
+    def test_backend_env_var_overrides_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "queue")
+        assert get_profile("quick").sa_options.backend == "queue"
+        monkeypatch.delenv("REPRO_BENCH_BACKEND")
+        assert get_profile("quick").sa_options.backend is None
+
+    def test_backend_env_var_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "carrier-pigeon")
+        with pytest.raises(ReproError, match="unknown execution backend"):
+            get_profile("quick")
+
 
 class TestTargets:
     def test_all_paper_tables_registered(self):

@@ -40,6 +40,37 @@ def test_advise_qp_with_layout(capsys):
     assert "Site 1" in output
 
 
+def test_advise_portfolio_backend_and_prune(capsys):
+    exit_code = main([
+        "advise", "--instance", "rndBt4x15", "--sites", "2",
+        "--solver", "sa-portfolio", "--seed", "0", "--restarts", "2",
+        "--backend", "queue", "--prune",
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "best-of-2" in output
+    assert "queue executor" in output
+
+
+def test_backend_requires_sa_family_solver(capsys):
+    exit_code = main([
+        "advise", "--instance", "rndBt4x15", "--sites", "2",
+        "--solver", "greedy", "--backend", "queue",
+    ])
+    assert exit_code == 1
+    assert "--backend" in capsys.readouterr().err
+
+
+def test_unknown_backend_is_error(capsys):
+    exit_code = main([
+        "advise", "--instance", "rndBt4x15", "--sites", "2",
+        "--solver", "sa-portfolio", "--restarts", "2",
+        "--backend", "carrier-pigeon",
+    ])
+    assert exit_code == 1
+    assert "unknown execution backend" in capsys.readouterr().err
+
+
 def test_advise_sql_files(tmp_path, capsys):
     schema = tmp_path / "schema.sql"
     workload = tmp_path / "workload.sql"

@@ -1,0 +1,556 @@
+"""Pluggable portfolio execution backends and the shared incumbent.
+
+Pins the PR-5 acceptance contract: all backends return bitwise-identical
+best results per master seed, queue envelopes round-trip and replay
+byte-identically, worker faults are retried without losing determinism,
+and pruning only ever skips restarts that cannot win.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.api.advisor import advise
+from repro.api.request import SolveRequest
+from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.config import CostParameters
+from repro.costmodel.evaluator import (
+    SolutionEvaluator,
+    objective6_lower_bound,
+)
+from repro.exceptions import OptionsError, SolverError
+from repro.model.instance import ProblemInstance
+from repro.model.schema import SchemaBuilder
+from repro.model.workload import Query, Transaction, Workload
+from repro.sa.backends import (
+    BackendRun,
+    PortfolioPlan,
+    QueueBackend,
+    QueueWorker,
+    SerialBackend,
+    SharedIncumbent,
+    backend_names,
+    decode_restart_result,
+    decode_restart_task,
+    encode_restart_task,
+    get_backend,
+    register_backend,
+)
+from repro.sa.backends.base import RestartTask, _BACKENDS
+from repro.sa.options import SaOptions
+from repro.sa.portfolio import derive_restart_seeds, run_portfolio
+from repro.sa.solver import SaPartitioner
+from tests.conftest import random_feasible_solution, small_random_instance
+
+FAST = dict(inner_loops=6, max_outer_loops=6)
+
+
+@pytest.fixture(scope="module")
+def coefficients():
+    instance = small_random_instance(5, num_tables=4, max_attributes_per_table=8)
+    return build_coefficients(instance, CostParameters())
+
+
+def read_only_instance() -> ProblemInstance:
+    """Read-only, every attribute of a touched table accessed directly.
+
+    Under pure cost weighting (``lambda = 1``) every feasible solution
+    pays exactly the forced read floor (all widths/frequencies integral,
+    so the arithmetic is exact): objective (6) equals
+    :func:`objective6_lower_bound` for *any* placement, which makes the
+    incumbent's prune proof fire after the first restart.
+    """
+    schema = (
+        SchemaBuilder("flat")
+        .table("U", id=4, name=16)
+        .table("V", key=4, val=8)
+        .build()
+    )
+    workload = Workload(
+        [
+            Transaction("A", (Query.read("A.q", ["U.id", "U.name"]),)),
+            Transaction("B", (Query.read("B.q", ["V.key", "V.val"]),)),
+            Transaction("C", (Query.read("C.q", ["U.id", "U.name"]),)),
+        ],
+        name="flat-load",
+    )
+    return ProblemInstance(schema, workload, name="flat")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "process", "thread", "queue"} <= set(backend_names())
+
+    def test_get_backend_unknown_raises(self):
+        with pytest.raises(OptionsError, match="unknown execution backend"):
+            get_backend("carrier-pigeon")
+
+    def test_options_validate_backend_name(self):
+        with pytest.raises(OptionsError, match="unknown execution backend"):
+            SaOptions(backend="carrier-pigeon")
+        assert SaOptions(backend="queue").backend == "queue"
+
+    def test_register_backend_and_run(self, coefficients):
+        class CountingSerial(SerialBackend):
+            name = "counting"
+            calls = 0
+
+            def run(self, plan):
+                CountingSerial.calls += 1
+                run = super().run(plan)
+                run.kind = "counting"
+                return run
+
+        register_backend("counting", CountingSerial)
+        try:
+            portfolio = run_portfolio(
+                coefficients, 3,
+                SaOptions(seed=1, restarts=2, backend="counting", **FAST),
+            )
+            assert portfolio.executor == "counting"
+            assert CountingSerial.calls == 1
+        finally:
+            _BACKENDS.pop("counting", None)
+
+    def test_register_rejects_bad_name(self):
+        with pytest.raises(OptionsError, match="non-empty string"):
+            register_backend("", SerialBackend)
+
+
+# ----------------------------------------------------------------------
+# Cross-backend determinism (the acceptance pin)
+# ----------------------------------------------------------------------
+class TestBackendParity:
+    @pytest.fixture(scope="class")
+    def per_backend(self, coefficients):
+        results = {}
+        for backend, jobs in (("serial", 1), ("process", 2), ("queue", 1)):
+            results[backend] = run_portfolio(
+                coefficients, 3,
+                SaOptions(seed=11, restarts=4, jobs=jobs, backend=backend, **FAST),
+            )
+        return results
+
+    def test_bitwise_identical_best(self, per_backend):
+        serial = per_backend["serial"]
+        for backend in ("process", "queue"):
+            other = per_backend[backend]
+            assert other.objective6 == serial.objective6
+            assert other.best_restart == serial.best_restart
+            np.testing.assert_array_equal(other.x, serial.x)
+            np.testing.assert_array_equal(other.y, serial.y)
+
+    def test_identical_per_restart_records(self, per_backend):
+        serial = per_backend["serial"]
+        for backend in ("process", "queue"):
+            other = per_backend[backend]
+            assert other.restart_objectives == serial.restart_objectives
+            assert other.restart_seeds == serial.restart_seeds
+            assert [o.iterations for o in other.outcomes] == [
+                o.iterations for o in serial.outcomes
+            ]
+
+    def test_executor_label(self, per_backend):
+        assert per_backend["serial"].executor == "serial"
+        assert per_backend["queue"].executor == "queue"
+        # the pool may legitimately fall back to threads on exotic
+        # platforms; on CI/linux it is the process pool.
+        assert per_backend["process"].executor in ("process", "thread")
+
+    def test_backend_routes_through_sa_partitioner(self, coefficients):
+        result = SaPartitioner(
+            coefficients, 3,
+            options=SaOptions(seed=11, restarts=2, backend="queue", **FAST),
+        ).solve()
+        assert result.metadata["executor"] == "queue"
+        assert result.metadata["pruned_restarts"] == 0
+
+    def test_explicit_backend_with_single_restart(self, coefficients):
+        """backend= routes restarts=1 through the portfolio machinery."""
+        single = SaPartitioner(
+            coefficients, 3, options=SaOptions(seed=11, **FAST)
+        ).solve()
+        queued = SaPartitioner(
+            coefficients, 3,
+            options=SaOptions(seed=11, backend="queue", **FAST),
+        ).solve()
+        assert queued.metadata["executor"] == "queue"
+        assert queued.objective == single.objective
+        np.testing.assert_array_equal(queued.x, single.x)
+        np.testing.assert_array_equal(queued.y, single.y)
+
+    def test_advise_accepts_backend_option(self):
+        instance = small_random_instance(5, num_tables=4, max_attributes_per_table=8)
+        reports = {
+            backend: advise(
+                SolveRequest(
+                    instance, 3, strategy="sa-portfolio", seed=11,
+                    options={"restarts": 3, "backend": backend, **FAST},
+                )
+            )
+            for backend in ("serial", "queue")
+        }
+        serial, queue = reports["serial"].result, reports["queue"].result
+        assert queue.objective == serial.objective
+        np.testing.assert_array_equal(queue.x, serial.x)
+        assert queue.metadata["executor"] == "queue"
+
+
+class TestAutoBackendDisambiguation:
+    """"backend" names the MIP backend for "qp" and the execution
+    backend for "sa"; the "auto" strategy routes the key by value and
+    drops it when it belongs to the road not taken."""
+
+    def test_auto_qp_pick_drops_execution_backend(self):
+        instance = small_random_instance(5)  # small: auto picks qp
+        report = advise(
+            SolveRequest(
+                instance, 2, strategy="auto", seed=1,
+                options={"backend": "queue", "restarts": 2},
+            )
+        )
+        assert report.result.metadata["auto_pick"] == "qp"
+
+    def test_auto_sa_pick_drops_mip_backend(self):
+        instance = small_random_instance(5)
+        report = advise(
+            SolveRequest(
+                instance, 2, strategy="auto", seed=1,
+                options={"backend": "scipy", "auto_cutoff": 1, **FAST},
+            )
+        )
+        assert report.result.metadata["auto_pick"] == "sa"
+        assert report.result.metadata.get("executor") is None  # no portfolio
+
+    def test_auto_sa_pick_keeps_execution_backend(self):
+        instance = small_random_instance(5)
+        report = advise(
+            SolveRequest(
+                instance, 2, strategy="auto", seed=1,
+                options={"backend": "queue", "auto_cutoff": 1, **FAST},
+            )
+        )
+        assert report.result.metadata["auto_pick"] == "sa"
+        assert report.result.metadata["executor"] == "queue"
+
+    def test_auto_sa_pick_rejects_unknown_backend(self):
+        """A typo'd backend must raise, not silently fall back."""
+        instance = small_random_instance(5)
+        with pytest.raises(OptionsError, match="neither a portfolio"):
+            advise(
+                SolveRequest(
+                    instance, 2, strategy="auto", seed=1,
+                    options={"backend": "qeue", "auto_cutoff": 1, **FAST},
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Queue envelopes
+# ----------------------------------------------------------------------
+class TestQueueEnvelopes:
+    def test_task_envelope_round_trips(self, coefficients):
+        options = SaOptions(seed=11, restarts=4, **FAST)
+        envelope = encode_restart_task(
+            coefficients, 3, options, RestartTask(restart=2, seed=77)
+        )
+        payload = decode_restart_task(envelope)
+        assert payload["restart"] == 2
+        assert payload["kind"] == "sa-restart"
+        request = SolveRequest.from_dict(payload["request"])
+        assert request.strategy == "sa"
+        assert request.seed == 77
+        assert request.options["restarts"] == 1  # single-run options
+        assert request.options["jobs"] == 1
+        # the request itself keeps its exact JSON round-trip
+        assert SolveRequest.from_json(request.to_json()).to_dict() == request.to_dict()
+
+    def test_task_envelope_bytes_stable(self, coefficients):
+        options = SaOptions(seed=11, restarts=4, **FAST)
+        first = encode_restart_task(coefficients, 3, options, RestartTask(1, 5))
+        second = encode_restart_task(coefficients, 3, options, RestartTask(1, 5))
+        assert first == second
+
+    def test_replay_is_byte_identical(self, coefficients):
+        options = SaOptions(seed=11, **FAST)
+        envelope = encode_restart_task(
+            coefficients, 3, options, RestartTask(restart=0, seed=11)
+        )
+        worker = QueueWorker()
+        first = worker.run(envelope)
+        second = worker.run(envelope)
+        assert first == second
+        payload = json.loads(first)
+        assert payload["kind"] == "sa-restart-result"
+        assert "wall_time" not in payload  # transport-dependent, not wire
+
+    def test_result_matches_direct_run(self, coefficients):
+        """Decoded queue outcomes equal the in-process annealer's."""
+        options = SaOptions(seed=11, **FAST)
+        direct = SaPartitioner(coefficients, 3, options=options).solve()
+        envelope = encode_restart_task(
+            coefficients, 3, options, RestartTask(restart=0, seed=11)
+        )
+        outcome = decode_restart_result(QueueWorker().run(envelope))
+        assert outcome.objective6 == direct.metadata["objective6"]
+        np.testing.assert_array_equal(outcome.x, direct.x)
+        np.testing.assert_array_equal(outcome.y, direct.y)
+        assert outcome.iterations == direct.metadata["iterations"]
+
+    def test_queue_rejects_non_canonical_coefficients(self, coefficients):
+        """The wire format ships (instance, parameters) only; edited
+        coefficient arrays must be refused, not silently re-derived."""
+        import dataclasses
+
+        doctored = dataclasses.replace(coefficients, c1=coefficients.c1 * 2.0)
+        with pytest.raises(OptionsError, match="non-canonical"):
+            run_portfolio(
+                doctored, 3,
+                SaOptions(seed=1, restarts=2, backend="queue", **FAST),
+            )
+
+    def test_task_version_and_kind_checked(self, coefficients):
+        options = SaOptions(seed=1, **FAST)
+        envelope = encode_restart_task(
+            coefficients, 2, options, RestartTask(0, 1)
+        )
+        payload = json.loads(envelope)
+        payload["format_version"] = 99
+        with pytest.raises(OptionsError, match="format_version"):
+            decode_restart_task(json.dumps(payload))
+        payload["format_version"] = 1
+        payload["kind"] = "sa-restart-result"
+        with pytest.raises(OptionsError, match="kind"):
+            decode_restart_task(json.dumps(payload))
+        with pytest.raises(OptionsError, match="kind"):
+            decode_restart_result(envelope)
+        # the result leg enforces the version stamp too
+        result = QueueWorker().run(envelope)
+        tampered = json.loads(result)
+        tampered["format_version"] = 99
+        with pytest.raises(OptionsError, match="format_version"):
+            decode_restart_result(json.dumps(tampered))
+
+
+# ----------------------------------------------------------------------
+# Queue fault paths
+# ----------------------------------------------------------------------
+class FlakyWorker(QueueWorker):
+    """Raises the first ``failures_per_restart`` times a restart runs."""
+
+    def __init__(self, failures_per_restart: dict[int, int]):
+        self.failures_per_restart = dict(failures_per_restart)
+        self.seen: list[int] = []
+
+    def run(self, envelope: str) -> str:
+        restart = json.loads(envelope)["restart"]
+        self.seen.append(restart)
+        if self.failures_per_restart.get(restart, 0) > 0:
+            self.failures_per_restart[restart] -= 1
+            raise RuntimeError(f"injected fault on restart {restart}")
+        return super().run(envelope)
+
+
+class TestQueueFaults:
+    def test_failed_restart_is_requeued_and_deterministic(self, coefficients):
+        options = SaOptions(seed=11, restarts=4, **FAST)
+        reference = run_portfolio(coefficients, 3, options, backend="serial")
+
+        worker = FlakyWorker({1: 1, 2: 2})
+        backend = QueueBackend(worker=worker, max_retries=2)
+        portfolio = run_portfolio(coefficients, 3, options, backend=backend)
+
+        # every restart completed despite the mid-restart faults ...
+        assert len(portfolio.outcomes) == 4
+        assert backend.failures == {1: 1, 2: 2}
+        # ... the failed tasks went to the back of the queue ...
+        assert worker.seen == [0, 1, 2, 3, 1, 2, 2]
+        # ... and the best is bitwise identical to the serial reference.
+        assert portfolio.objective6 == reference.objective6
+        assert portfolio.best_restart == reference.best_restart
+        np.testing.assert_array_equal(portfolio.x, reference.x)
+        np.testing.assert_array_equal(portfolio.y, reference.y)
+        assert portfolio.restart_objectives == reference.restart_objectives
+
+    def test_exhausted_retries_raise(self, coefficients):
+        worker = FlakyWorker({0: 99})
+        backend = QueueBackend(worker=worker, max_retries=1)
+        with pytest.raises(SolverError, match="restart 0"):
+            run_portfolio(
+                coefficients, 3,
+                SaOptions(seed=11, restarts=2, **FAST),
+                backend=backend,
+            )
+
+
+# ----------------------------------------------------------------------
+# Shared incumbent + pruning
+# ----------------------------------------------------------------------
+class TestSharedIncumbent:
+    def test_publish_keeps_objective_restart_minimum(self):
+        incumbent = SharedIncumbent()
+        incumbent.publish(10.0, 3)
+        incumbent.publish(10.0, 1)  # same objective, earlier restart wins
+        incumbent.publish(12.0, 0)  # worse objective loses
+        assert incumbent.snapshot() == (10.0, 1)
+        assert incumbent.published == 3
+
+    def test_proof_requires_bound_and_earlier_index(self):
+        incumbent = SharedIncumbent(lower_bound=10.0)
+        assert not incumbent.proves_unbeatable(5)  # nothing published
+        incumbent.publish(11.0, 1)
+        assert not incumbent.proves_unbeatable(5)  # bound not reached
+        incumbent.publish(10.0, 2)
+        assert incumbent.proves_unbeatable(5)
+        assert not incumbent.proves_unbeatable(2)  # itself
+        assert not incumbent.proves_unbeatable(0)  # earlier index may tie-win
+
+    def test_default_bound_never_proves(self):
+        incumbent = SharedIncumbent()
+        incumbent.publish(0.0, 0)
+        assert incumbent.lower_bound == -math.inf
+        assert not incumbent.proves_unbeatable(1)
+
+
+class TestLowerBound:
+    def test_bound_sound_on_random_instances(self):
+        """The bound never exceeds any feasible solution's objective."""
+        for seed in range(6):
+            instance = small_random_instance(seed)
+            for lam in (1.0, 0.5):
+                coefficients = build_coefficients(
+                    instance, CostParameters(load_balance_lambda=lam)
+                )
+                bound = objective6_lower_bound(coefficients, 3)
+                evaluator = SolutionEvaluator(coefficients)
+                for solution_seed in range(4):
+                    x, y = random_feasible_solution(coefficients, 3, solution_seed)
+                    assert bound <= evaluator.objective6(x, y) + 1e-9
+
+    def test_bound_retreats_under_fractional_penalty(self):
+        """Fractional network penalties make the evaluator's c1/c2
+        einsums inexact (the p*B cancellation rounds), so the bound must
+        leave its exact fast-path and retreat below every *reported*
+        objective — strictly, no epsilon slop."""
+        for penalty in (0.1, 7.9):
+            for seed in range(4):
+                instance = small_random_instance(seed)
+                coefficients = build_coefficients(
+                    instance,
+                    CostParameters(
+                        network_penalty=penalty, load_balance_lambda=1.0
+                    ),
+                )
+                bound = objective6_lower_bound(coefficients, 3)
+                evaluator = SolutionEvaluator(coefficients)
+                for solution_seed in range(4):
+                    x, y = random_feasible_solution(coefficients, 3, solution_seed)
+                    assert bound <= evaluator.objective6(x, y)
+
+    def test_bound_sound_on_single_site(self, coefficients):
+        """|S| = 1 admits exactly one solution; the bound stays below it
+        (strictly, when the instance has table-fraction-only reads that
+        co-location never forces)."""
+        evaluator = SolutionEvaluator(coefficients)
+        x = np.ones((coefficients.num_transactions, 1), dtype=bool)
+        y = np.ones((coefficients.num_attributes, 1), dtype=bool)
+        assert objective6_lower_bound(coefficients, 1) <= evaluator.objective6(x, y)
+
+    def test_bound_tight_when_all_reads_forced(self):
+        """With alpha == beta (every attribute of a touched table is
+        read directly) and pure cost weighting, every feasible solution
+        pays exactly the floor — the bound is an equality."""
+        coefficients = build_coefficients(
+            read_only_instance(), CostParameters(load_balance_lambda=1.0)
+        )
+        bound = objective6_lower_bound(coefficients, 3)
+        evaluator = SolutionEvaluator(coefficients)
+        for solution_seed in range(4):
+            x, y = random_feasible_solution(coefficients, 3, solution_seed)
+            assert evaluator.objective6(x, y) == bound
+
+
+class TestPruning:
+    @pytest.fixture(scope="class")
+    def flat_coefficients(self):
+        return build_coefficients(
+            read_only_instance(), CostParameters(load_balance_lambda=1.0)
+        )
+
+    @pytest.mark.parametrize("backend", ["serial", "queue"])
+    def test_prune_skips_doomed_restarts_bitwise_identically(
+        self, flat_coefficients, backend
+    ):
+        options = dict(seed=3, restarts=5, backend=backend, **FAST)
+        pruned = run_portfolio(
+            flat_coefficients, 3, SaOptions(prune=True, **options)
+        )
+        full = run_portfolio(flat_coefficients, 3, SaOptions(**options))
+        # restart 0 reaches the provable floor, so 1..4 are skipped ...
+        assert pruned.pruned == 4
+        assert len(pruned.outcomes) == 1
+        assert len(pruned.outcomes) + pruned.pruned + pruned.cancelled == 5
+        # ... without changing anything about the returned best.
+        assert pruned.objective6 == full.objective6
+        assert pruned.best_restart == full.best_restart == 0
+        np.testing.assert_array_equal(pruned.x, full.x)
+        np.testing.assert_array_equal(pruned.y, full.y)
+        assert pruned.objective6 == objective6_lower_bound(flat_coefficients, 3)
+
+    def test_pool_prune_is_best_effort_but_identical(self, flat_coefficients):
+        """The pool cancels unstarted futures only; results still match."""
+        options = dict(seed=3, restarts=5, jobs=2, backend="process", **FAST)
+        pruned = run_portfolio(
+            flat_coefficients, 3, SaOptions(prune=True, **options)
+        )
+        full = run_portfolio(flat_coefficients, 3, SaOptions(**options))
+        assert pruned.objective6 == full.objective6
+        assert pruned.best_restart == full.best_restart
+        np.testing.assert_array_equal(pruned.x, full.x)
+        assert 0 <= pruned.pruned <= 4
+        assert len(pruned.outcomes) + pruned.pruned == 5
+
+    def test_prune_noop_when_bound_unreachable(self, coefficients):
+        """On ordinary instances the proof never fires: zero skips and
+        the exact same portfolio as prune=False."""
+        options = dict(seed=11, restarts=4, **FAST)
+        pruned = run_portfolio(coefficients, 3, SaOptions(prune=True, **options))
+        full = run_portfolio(coefficients, 3, SaOptions(**options))
+        assert pruned.pruned == 0
+        assert pruned.restart_objectives == full.restart_objectives
+        np.testing.assert_array_equal(pruned.x, full.x)
+
+    def test_prune_metadata_exposed(self, flat_coefficients):
+        result = SaPartitioner(
+            flat_coefficients, 3,
+            options=SaOptions(seed=3, restarts=5, prune=True, **FAST),
+        ).solve()
+        assert result.metadata["pruned_restarts"] == 4
+        assert result.metadata["executor"] == "serial"
+
+
+# ----------------------------------------------------------------------
+# Plan plumbing
+# ----------------------------------------------------------------------
+class TestPortfolioPlan:
+    def test_tasks_enumerate_seeds(self, coefficients):
+        seeds = derive_restart_seeds(7, 3)
+        plan = PortfolioPlan(
+            coefficients=coefficients, num_sites=2,
+            options=SaOptions(seed=7, restarts=3, **FAST), seeds=seeds,
+        )
+        tasks = plan.tasks()
+        assert [task.restart for task in tasks] == [0, 1, 2]
+        assert [task.seed for task in tasks] == seeds
+        assert plan.jobs == 1
+        assert plan.remaining() is None
+        assert not plan.expired()
+
+    def test_backend_run_defaults(self):
+        run = BackendRun(outcomes=[])
+        assert (run.cancelled, run.pruned, run.kind) == (0, 0, "serial")

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Execute the fenced ``python`` code blocks of README.md and docs/.
+
+Documentation that does not run rots: entry points get renamed, options
+change shape, imports move. This checker extracts every fenced
+``python`` block from the given markdown files (default: README.md and
+docs/*.md) and executes each one in its own subprocess with
+``PYTHONPATH=src``, failing loudly with the file and line of any block
+that errors.
+
+A block can opt out by being immediately preceded (blank lines allowed)
+by the marker comment::
+
+    <!-- snippet: no-run -->
+
+for fragments that are illustrative rather than self-contained (e.g.
+pseudo-code or snippets requiring optional dependencies). Non-python
+fences (bash, text, ...) are ignored.
+
+Run locally with::
+
+    python tools/check_doc_snippets.py [files...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+NO_RUN_MARKER = "<!-- snippet: no-run -->"
+FENCE = re.compile(r"^```(\S*)\s*$")
+#: Per-snippet wall-clock cap: docs examples must stay instant.
+TIMEOUT_SECONDS = 120
+
+
+@dataclass
+class Snippet:
+    path: Path
+    line: int  # 1-based line of the opening fence
+    language: str
+    code: str
+    no_run: bool
+
+    @property
+    def label(self) -> str:
+        try:
+            shown = self.path.relative_to(REPO_ROOT)
+        except ValueError:  # an out-of-tree file passed on the CLI
+            shown = self.path
+        return f"{shown}:{self.line}"
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """All fenced code blocks of one markdown file, in order."""
+    snippets: list[Snippet] = []
+    lines = path.read_text().splitlines()
+    index = 0
+    pending_no_run = False
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped == NO_RUN_MARKER:
+            pending_no_run = True
+            index += 1
+            continue
+        match = FENCE.match(lines[index])
+        if match is None:
+            if stripped:
+                pending_no_run = False
+            index += 1
+            continue
+        language = match.group(1).lower()
+        start = index
+        index += 1
+        body: list[str] = []
+        while index < len(lines) and not lines[index].strip().startswith("```"):
+            body.append(lines[index])
+            index += 1
+        index += 1  # closing fence
+        snippets.append(
+            Snippet(
+                path=path,
+                line=start + 1,
+                language=language,
+                code="\n".join(body) + "\n",
+                no_run=pending_no_run,
+            )
+        )
+        pending_no_run = False
+    return snippets
+
+
+def run_snippet(snippet: Snippet) -> tuple[bool, str]:
+    """Execute one snippet; returns (ok, captured output)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    try:
+        completed = subprocess.run(
+            [sys.executable, "-c", snippet.code],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=TIMEOUT_SECONDS,
+        )
+    except subprocess.TimeoutExpired:
+        return False, f"timed out after {TIMEOUT_SECONDS}s"
+    output = (completed.stdout + completed.stderr).strip()
+    return completed.returncode == 0, output
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(name).resolve() for name in argv]
+    else:
+        files = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+    failures = 0
+    executed = 0
+    skipped = 0
+    for path in files:
+        for snippet in extract_snippets(path):
+            if snippet.language != "python":
+                continue
+            if snippet.no_run:
+                skipped += 1
+                print(f"SKIP  {snippet.label} (marked no-run)")
+                continue
+            ok, output = run_snippet(snippet)
+            executed += 1
+            if ok:
+                print(f"ok    {snippet.label}")
+            else:
+                failures += 1
+                print(f"FAIL  {snippet.label}")
+                for line in output.splitlines():
+                    print(f"      {line}")
+    print(
+        f"\n{executed} snippet(s) executed, {skipped} skipped, "
+        f"{failures} failed"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
