@@ -146,7 +146,18 @@ class Advisor:
         incumbent (stages of a chained strategy warm-start each other
         automatically; only strategies that understand warm starts — the
         QP — consume it).
+
+        Requests with ``compression != "off"`` take the
+        compress→solve→lift pipeline
+        (:func:`~repro.api.strategies.solve_with_compression`): the
+        strategy chain runs on the compressed view and the report holds
+        the lifted partitioning with its objective re-evaluated on the
+        original instance.
         """
+        if request.compression != "off":
+            from repro.api.strategies import solve_with_compression
+
+            return solve_with_compression(self, request, warm_start=warm_start)
         started = time.perf_counter()
         before = self.cache_stats()
         stages = request.stages

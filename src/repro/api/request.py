@@ -21,6 +21,7 @@ from repro.costmodel.config import (
     WriteAccounting,
 )
 from repro.exceptions import OptionsError
+from repro.model.compressed import COMPRESSION_TIERS
 from repro.model.instance import ProblemInstance
 from repro.model.serialize import instance_from_dict, instance_to_dict
 
@@ -30,6 +31,10 @@ REQUEST_FORMAT_VERSION = 1
 #: Separator for chained strategies ("sa-portfolio->qp" runs the
 #: portfolio first and warm-starts the QP from its incumbent).
 CHAIN_SEPARATOR = "->"
+
+#: Recognised values of :attr:`SolveRequest.compression` — ``"off"``
+#: plus the tiers of :mod:`repro.reduction.compress`.
+COMPRESSION_MODES = ("off", *COMPRESSION_TIERS)
 
 
 @dataclass(frozen=True)
@@ -69,6 +74,18 @@ class SolveRequest:
         Wall-clock budget in seconds (QP solve limit, SA portfolio
         budget).  For a chained strategy one budget spans all stages:
         each stage receives only what is left of it.
+    compression:
+        Workload compression applied before solving: ``"off"`` (the
+        default), ``"lossless"`` (merge bit-identical transaction
+        signatures; the returned objective is provably unchanged under
+        pure cost minimisation) or ``"lossy"`` (also merge
+        near-duplicates within ``compression_tolerance``).  The solve
+        runs on the compressed view; the report's partitioning and
+        objective are lifted back and re-evaluated on the original
+        instance.
+    compression_tolerance:
+        Lossy-tier budget, relative to the instance's single-site cost
+        (ignored unless ``compression == "lossy"``).
     """
 
     instance: ProblemInstance
@@ -79,10 +96,22 @@ class SolveRequest:
     options: Mapping[str, Any] = field(default_factory=dict)
     seed: int | None = None
     time_limit: float | None = None
+    compression: str = "off"
+    compression_tolerance: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_sites < 1:
             raise OptionsError(f"need at least one site, got {self.num_sites}")
+        if self.compression not in COMPRESSION_MODES:
+            raise OptionsError(
+                f"unknown compression mode {self.compression!r}; "
+                f"known: {', '.join(COMPRESSION_MODES)}"
+            )
+        if self.compression_tolerance < 0:
+            raise OptionsError(
+                f"compression_tolerance must be >= 0, got "
+                f"{self.compression_tolerance}"
+            )
         if not isinstance(self.strategy, str) or not self.strategy.strip():
             raise OptionsError(f"strategy must be a non-empty string, got "
                                f"{self.strategy!r}")
@@ -134,6 +163,8 @@ class SolveRequest:
             "options": dict(self.options),
             "seed": self.seed,
             "time_limit": self.time_limit,
+            "compression": self.compression,
+            "compression_tolerance": self.compression_tolerance,
         }
 
     @classmethod
@@ -165,6 +196,10 @@ class SolveRequest:
             options=dict(payload.get("options") or {}),
             seed=payload.get("seed"),
             time_limit=payload.get("time_limit"),
+            compression=payload.get("compression", "off"),
+            compression_tolerance=float(
+                payload.get("compression_tolerance", 0.0)
+            ),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:

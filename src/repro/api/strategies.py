@@ -11,15 +11,26 @@ the exact QP solver, everything larger goes to simulated annealing.
 from __future__ import annotations
 
 import dataclasses
+import time
+from typing import TYPE_CHECKING
 
 from repro.api.registry import SolverRegistry, StrategyContext
+from repro.api.report import SolveReport
 from repro.api.request import SolveRequest
 from repro.costmodel.config import WriteAccounting
 from repro.exceptions import OptionsError
 from repro.partition.assignment import PartitioningResult, single_site_partitioning
 from repro.qp.solver import PAPER_GAP, QpPartitioner
+from repro.reduction.compress import (
+    compress_instance,
+    compress_result,
+    lift_result,
+)
 from repro.sa.options import SaOptions
 from repro.sa.solver import SaPartitioner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.advisor import Advisor
 
 #: "auto" sends a request to the QP solver only while the linearised
 #: model stays below this many variables; beyond it, solve times blow up
@@ -315,3 +326,104 @@ def register_builtin_strategies(registry: SolverRegistry) -> None:
     registry.register("single-site", single_site_strategy)
     registry.register("qp-heavy", qp_heavy_strategy)
     registry.register("auto", auto_strategy)
+
+
+# ----------------------------------------------------------------------
+# Workload-compression pipeline stage
+# ----------------------------------------------------------------------
+#: Strategies whose output depends on raw transaction *positions*, not
+#: signatures — "round-robin" places transaction ``t`` on site
+#: ``t mod |S|``, so changing the transaction count changes the answer.
+#: The compression pipeline serves these on the original instance to
+#: keep its objective-identity contract.
+_POSITION_BASED_STAGES = frozenset({"round-robin"})
+
+
+def solve_with_compression(
+    advisor: "Advisor",
+    request: SolveRequest,
+    *,
+    warm_start: PartitioningResult | None = None,
+) -> "SolveReport":
+    """Serve a request with ``compression != "off"``: compress → solve →
+    lift → re-evaluate.
+
+    The workload is compressed once (reusing the advisor's cached
+    coefficients for the error bounds), the strategy chain runs
+    unchanged on the compressed view, and the winning placement is
+    lifted back and re-evaluated on the *original* instance — the
+    report's objective is always a true original-instance cost.  Works
+    for every registry strategy and chain, because the compressed view
+    is just another :class:`~repro.model.instance.ProblemInstance`.
+
+    When nothing merges (no duplicate signatures) the original request
+    is served directly, so enabling compression is safe by default; the
+    same applies to position-based strategies (round-robin), whose
+    placements are defined over raw transaction indices and therefore
+    never see a compressed view.
+    """
+    if any(stage in _POSITION_BASED_STAGES for stage in request.stages):
+        report = advisor.advise(
+            request.with_(compression="off", compression_tolerance=0.0),
+            warm_start=warm_start,
+        )
+        report.result.metadata.setdefault(
+            "compression_skipped", "position-based strategy"
+        )
+        report.result.metadata.setdefault("compression_ratio", 1.0)
+        return SolveReport(
+            request=request,
+            result=report.result,
+            strategy=report.strategy,
+            wall_time=report.wall_time,
+            cache_stats=report.cache_stats,
+            stage_results=report.stage_results,
+        )
+    started = time.perf_counter()
+    before = advisor.cache_stats()
+    original_coefficients = advisor.coefficients_for(request)
+    compressed = compress_instance(
+        request.instance,
+        tier=request.compression,
+        tolerance=request.compression_tolerance,
+        coefficients=original_coefficients,
+    )
+    if compressed.is_identity:
+        inner_request = request.with_(
+            compression="off", compression_tolerance=0.0
+        )
+        inner_warm = warm_start
+    else:
+        inner_request = request.with_(
+            instance=compressed.compressed,
+            compression="off",
+            compression_tolerance=0.0,
+        )
+        inner_warm = None
+        if warm_start is not None:
+            inner_warm = compress_result(
+                compressed,
+                warm_start,
+                advisor.coefficient_cache(
+                    compressed.compressed
+                ).coefficients(request.parameters),
+            )
+    report = advisor.advise(inner_request, warm_start=inner_warm)
+    if compressed.is_identity:
+        result = report.result
+        result.metadata.setdefault("compression_tier", compressed.tier)
+        result.metadata.setdefault("compression_ratio", 1.0)
+        result.metadata.setdefault("objective_error_bound", 0.0)
+    else:
+        result = lift_result(
+            compressed, report.result, coefficients=original_coefficients
+        )
+    after = advisor.cache_stats()
+    return SolveReport(
+        request=request,
+        result=result,
+        strategy=report.strategy,
+        wall_time=time.perf_counter() - started,
+        cache_stats={key: after[key] - before[key] for key in after},
+        stage_results=report.stage_results,
+    )

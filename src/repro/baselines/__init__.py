@@ -13,7 +13,7 @@ QP/SA formulation can be quantified:
 All baselines return feasible :class:`PartitioningResult` objects
 (read co-location is repaired by adding replicas where needed) and share
 the normalised ``(instance, num_sites, params, seed)`` call shape used
-by the :mod:`repro.api` registry adapters.  The deprecated pre-API
+by the :mod:`repro.api` registry adapters.  The removed pre-API
 ``parameters=`` spelling is documented in one place:
 :mod:`repro.baselines.signature`.
 """

@@ -1,27 +1,22 @@
-"""The normalised baseline call shape and its deprecation adapter.
+"""The normalised baseline call shape and its legacy-keyword rejection.
 
 Every baseline partitioner takes ``(instance, num_sites, params, seed)``
 — matching the registry adapters in :mod:`repro.api.strategies` — with
 any extra tuning knobs keyword-only after that.
 
-**The deprecated ``parameters=`` keyword** (canonical documentation —
+**The removed ``parameters=`` keyword** (canonical documentation —
 everywhere else links here): before the unified advisor API the
-baselines spelled the cost-model argument ``parameters=``.  That
-spelling is still accepted through one release, but
-
-* it raises a :class:`DeprecationWarning` pointing at the normalised
-  signature (``params=``),
-* passing both spellings at once is a :class:`TypeError` (the call is
-  ambiguous),
-* callers should migrate to ``params=`` — or better, to
-  :func:`repro.api.advise`, whose :class:`~repro.api.request.
-  SolveRequest` carries the parameters explicitly and never had the
-  old spelling.
+baselines spelled the cost-model argument ``parameters=``.  The spelling
+was deprecated for one release (accepted with a
+:class:`DeprecationWarning`); that cycle is complete and it now raises
+:class:`TypeError` with a migration message.  Callers migrate by
+renaming the keyword to ``params=`` — or better, by moving to
+:func:`repro.api.advise`, whose
+:class:`~repro.api.request.SolveRequest` carries the parameters
+explicitly and never had the old spelling.
 """
 
 from __future__ import annotations
-
-import warnings
 
 from repro.costmodel.config import CostParameters
 
@@ -31,23 +26,13 @@ def resolve_legacy_params(
     params: CostParameters | None,
     legacy: dict,
 ) -> CostParameters | None:
-    """Fold the deprecated ``parameters=`` spelling into ``params``."""
+    """Reject the removed ``parameters=`` spelling, validate ``params``."""
     if "parameters" in legacy:
-        warnings.warn(
-            f"{function_name}(parameters=...) is deprecated; use the "
-            f"normalised (instance, num_sites, params, seed) signature "
-            f"(params=...)",
-            DeprecationWarning,
-            stacklevel=3,
+        raise TypeError(
+            f"{function_name}() no longer accepts the parameters keyword "
+            f"(removed after its deprecation cycle); rename it to "
+            f"params=, or serve the solve through repro.api.advise()"
         )
-        replacement = legacy.pop("parameters")
-        if params is not None and replacement is not None:
-            raise TypeError(
-                f"{function_name}() got both params and the deprecated "
-                f"parameters keyword"
-            )
-        if params is None:
-            params = replacement
     if legacy:
         unexpected = ", ".join(sorted(legacy))
         raise TypeError(

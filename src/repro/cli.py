@@ -114,6 +114,10 @@ def _advise_request(
         options = stage_options(stages[0])
     else:
         options = {stage: stage_options(stage) for stage in stages}
+    if args.compress_tolerance is not None and args.compress != "lossy":
+        raise ReproError(
+            "--compress-tolerance only applies to --compress lossy"
+        )
     return SolveRequest(
         instance=instance,
         num_sites=args.sites,
@@ -123,6 +127,11 @@ def _advise_request(
         options=options,
         seed=args.seed,
         time_limit=time_limit,
+        compression=args.compress,
+        compression_tolerance=(
+            args.compress_tolerance if args.compress_tolerance is not None
+            else 0.0
+        ),
     )
 
 
@@ -157,6 +166,21 @@ def _cmd_advise(args: argparse.Namespace) -> int:
             + (f", {pruned} pruned" if pruned else "")
             + ")"
         )
+    if args.compress != "off":
+        ratio = result.metadata.get("compression_ratio", 1.0)
+        skipped = result.metadata.get("compression_skipped")
+        if skipped:
+            print(f"compression   : skipped ({skipped})")
+        elif ratio > 1.0:
+            bound = result.metadata.get("objective_error_bound", 0.0)
+            print(
+                f"compression   : {args.compress} "
+                f"{result.metadata['original_transactions']} -> "
+                f"{result.metadata['compressed_transactions']} transactions "
+                f"({ratio:.1f}x, error bound {bound:.0f})"
+            )
+        else:
+            print(f"compression   : {args.compress} (nothing to merge)")
     print(f"sites         : {args.sites}")
     print(f"objective (4) : {result.objective:.0f}")
     print(f"single-site   : {baseline.objective:.0f}  (reduction {reduction:.1f}%)")
@@ -240,6 +264,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="early-prune portfolio restarts the shared "
                         "incumbent proves unable to beat the best found "
                         "(skips work only — never changes the result)")
+    advise.add_argument("--compress", choices=("off", "lossless", "lossy"),
+                        default="off",
+                        help="compress the workload before solving: "
+                        "lossless merges bit-identical transaction "
+                        "signatures (objective provably unchanged under "
+                        "pure cost minimisation), lossy also merges "
+                        "near-duplicates within --compress-tolerance; "
+                        "the reported objective is always re-evaluated "
+                        "on the original instance")
+    advise.add_argument("--compress-tolerance", type=float, default=None,
+                        help="lossy-tier error budget as a fraction of "
+                        "the single-site cost (requires --compress "
+                        "lossy)")
     advise.add_argument("--layout", action="store_true",
                         help="print the full Table-4-style layout")
     advise.set_defaults(func=_cmd_advise)

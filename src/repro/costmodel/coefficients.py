@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.costmodel.config import CostParameters, WriteAccounting
 from repro.costmodel.constants import IndicatorArrays, build_indicators
+from repro.model.compressed import CompressedInstance
 from repro.model.instance import ProblemInstance
 
 
@@ -58,6 +59,33 @@ class CostCoefficients:
     @property
     def num_transactions(self) -> int:
         return self.c1.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the held dense arrays, in bytes.
+
+        Covers the indicator tensors and ``W`` plus the four coefficient
+        arrays — the data every solver touches.  Workload compression
+        shows up here directly: the dominant arrays are ``O(|A| * |Q|)``
+        and ``O(|A| * |T|)``, both of which shrink with the transaction
+        count.  Derived ``cached_property`` products are excluded (they
+        are views of the same problem and may not have been built).
+        """
+        indicators = self.indicators
+        arrays = (
+            indicators.alpha,
+            indicators.beta,
+            indicators.gamma,
+            indicators.delta,
+            indicators.phi,
+            indicators.rows,
+            self.weights,
+            self.c1,
+            self.c2,
+            self.c3,
+            self.c4,
+        )
+        return int(sum(array.nbytes for array in arrays))
 
     @cached_property
     def phi_bool(self) -> np.ndarray:
@@ -156,16 +184,30 @@ def build_weights(instance: ProblemInstance, indicators: IndicatorArrays) -> np.
 
 
 def build_coefficients(
-    instance: ProblemInstance,
+    instance: "ProblemInstance | CompressedInstance",
     parameters: CostParameters | None = None,
     indicators: IndicatorArrays | None = None,
+    view: str = "compressed",
 ) -> CostCoefficients:
     """Derive :class:`CostCoefficients` for ``instance``.
 
     ``indicators`` may be passed to avoid recomputing them when several
     parameter settings are evaluated on one instance (Table 6 sweeps
     ``p``; the indicators do not depend on it).
+
+    ``instance`` may also be a
+    :class:`~repro.model.compressed.CompressedInstance`; ``view``
+    selects which side the coefficients describe — ``"compressed"``
+    (the default: the view solvers run on) or ``"original"`` (the view
+    lifted solutions are re-evaluated on).  ``view`` is ignored for a
+    plain :class:`~repro.model.instance.ProblemInstance`.
     """
+    if isinstance(instance, CompressedInstance):
+        if view not in ("compressed", "original"):
+            raise ValueError(
+                f"view must be 'compressed' or 'original', got {view!r}"
+            )
+        instance = getattr(instance, view)
     parameters = parameters or CostParameters()
     indicators = indicators or build_indicators(instance)
     weights = build_weights(instance, indicators)

@@ -79,11 +79,49 @@ TABLE2_INSTANCES: dict[str, InstanceParameters] = {
 }
 
 
+def _rnd_dup(
+    num_transactions: int, duplicate_jitter: float = 0.0
+) -> InstanceParameters:
+    """Class rndDup: duplicate-heavy rndA-style workloads for the
+    compression layer (:mod:`repro.reduction.compress`).
+
+    ``duplicate_rate=0.85`` makes ~85% of the transactions clones of a
+    skewed template pool, giving the lossless tier roughly a
+    ``1 / (1 - rate)`` transaction-count reduction; the ``j`` variant
+    redraws half the clones' frequencies/row counts so only the lossy
+    tier can merge them.
+    """
+    suffix = "j" if duplicate_jitter else ""
+    return _rnd_a(8, num_transactions).with_(
+        name=f"rndDupAt8x{num_transactions}{suffix}",
+        duplicate_rate=0.85,
+        duplicate_skew=1.0,
+        duplicate_jitter=duplicate_jitter,
+    )
+
+
+#: Duplicate-heavy instances (not part of the paper's tables; testbeds
+#: for workload compression).
+DUPLICATE_INSTANCES: dict[str, InstanceParameters] = {
+    parameters.name: parameters
+    for parameters in (
+        _rnd_dup(120),
+        _rnd_dup(120, duplicate_jitter=0.5),
+        _rnd_dup(400),
+    )
+}
+
+
 def instance_catalog() -> tuple[str, ...]:
     """Names accepted by :func:`named_instance`."""
     from repro.instances.testbed import TESTBED_INSTANCES
 
-    return ("tpcc",) + tuple(TESTBED_INSTANCES) + tuple(TABLE2_INSTANCES)
+    return (
+        ("tpcc",)
+        + tuple(TESTBED_INSTANCES)
+        + tuple(TABLE2_INSTANCES)
+        + tuple(DUPLICATE_INSTANCES)
+    )
 
 
 def named_instance(name: str, seed: int = DEFAULT_SEED) -> ProblemInstance:
@@ -95,9 +133,8 @@ def named_instance(name: str, seed: int = DEFAULT_SEED) -> ProblemInstance:
         return tpcc_instance()
     if name in TESTBED_INSTANCES:
         return TESTBED_INSTANCES[name]()
-    try:
-        parameters = TABLE2_INSTANCES[name]
-    except KeyError:
+    parameters = TABLE2_INSTANCES.get(name) or DUPLICATE_INSTANCES.get(name)
+    if parameters is None:
         known = ", ".join(instance_catalog())
         raise InstanceError(f"unknown instance {name!r}; known: {known}") from None
     return generate_instance(parameters, seed=seed)

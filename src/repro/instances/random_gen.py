@@ -46,6 +46,23 @@ class InstanceParameters:
     attribute_widths: tuple[float, ...] = (4.0, 8.0)  # F
     max_frequency: int = 100
     max_rows: int = 10
+    #: Probability that a transaction is a clone of an earlier template
+    #: instead of freshly drawn.  Realistic OLTP traces are dominated by
+    #: a few transaction shapes repeated at scale; raising this produces
+    #: the duplicate-heavy workloads the compression layer
+    #: (:mod:`repro.reduction.compress`) targets.  ``0.0`` reproduces
+    #: the paper's generator draw-for-draw.
+    duplicate_rate: float = 0.0
+    #: Template-popularity skew: clone templates are drawn with weight
+    #: ``1 / rank**duplicate_skew`` (rank = template age, oldest first).
+    #: ``0.0`` is uniform; larger values concentrate the clones on a few
+    #: hot templates, Zipf-style.
+    duplicate_skew: float = 1.0
+    #: Probability that a clone redraws its frequency and row counts
+    #: (keeping the access shape).  ``0.0`` makes clones bit-identical
+    #: (lossless-tier mergeable); larger values create near-duplicates
+    #: only the lossy tier can merge.
+    duplicate_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_transactions < 1 or self.num_tables < 1:
@@ -53,6 +70,16 @@ class InstanceParameters:
         if not 0.0 <= self.update_percent <= 100.0:
             raise InstanceError(
                 f"update_percent must be in [0, 100], got {self.update_percent!r}"
+            )
+        for rate_name in ("duplicate_rate", "duplicate_jitter"):
+            if not 0.0 <= getattr(self, rate_name) <= 1.0:
+                raise InstanceError(
+                    f"{rate_name} must be in [0, 1], got "
+                    f"{getattr(self, rate_name)!r}"
+                )
+        if self.duplicate_skew < 0.0:
+            raise InstanceError(
+                f"duplicate_skew must be >= 0, got {self.duplicate_skew!r}"
             )
         if not self.attribute_widths:
             raise InstanceError("attribute_widths must be non-empty")
@@ -107,14 +134,66 @@ class RandomInstanceGenerator:
         parameters = self.parameters
         rng = self._rng
         transactions = []
+        templates: list[Transaction] = []
         for txn_number in range(parameters.num_transactions):
+            # Short-circuit before drawing so duplicate_rate=0.0 leaves
+            # the paper generator's rng stream untouched draw-for-draw.
+            if (
+                parameters.duplicate_rate > 0.0
+                and templates
+                and rng.random() < parameters.duplicate_rate
+            ):
+                transactions.append(self._clone_transaction(templates, txn_number))
+                continue
             num_queries = int(rng.integers(1, parameters.max_queries_per_transaction + 1))
             queries = tuple(
                 self._generate_query(schema, f"t{txn_number}.q{query_number}")
                 for query_number in range(num_queries)
             )
-            transactions.append(Transaction(f"txn{txn_number}", queries))
+            transaction = Transaction(f"txn{txn_number}", queries)
+            transactions.append(transaction)
+            templates.append(transaction)
         return Workload(transactions, name=f"{parameters.name}-workload")
+
+    def _clone_transaction(
+        self, templates: list[Transaction], txn_number: int
+    ) -> Transaction:
+        """A clone of a (skew-weighted) earlier template transaction.
+
+        The clone keeps the template's access shape exactly; with
+        probability ``duplicate_jitter`` its frequencies and row counts
+        are redrawn, producing a near-duplicate instead of an exact one.
+        """
+        parameters = self.parameters
+        rng = self._rng
+        ranks = np.arange(1, len(templates) + 1, dtype=float)
+        weights = ranks ** -parameters.duplicate_skew
+        template = templates[
+            int(rng.choice(len(templates), p=weights / weights.sum()))
+        ]
+        jitter = rng.random() < parameters.duplicate_jitter
+        queries = []
+        for query_number, query in enumerate(template.queries):
+            if jitter:
+                rows = {
+                    table: float(rng.integers(1, parameters.max_rows + 1))
+                    for table in query.rows
+                }
+                frequency = float(rng.integers(1, parameters.max_frequency + 1))
+            else:
+                rows = dict(query.rows)
+                frequency = query.frequency
+            queries.append(
+                Query(
+                    name=f"t{txn_number}.q{query_number}",
+                    kind=query.kind,
+                    attributes=query.attributes,
+                    rows=rows,
+                    frequency=frequency,
+                    extra_tables=query.extra_tables,
+                )
+            )
+        return Transaction(f"txn{txn_number}", tuple(queries))
 
     def _generate_query(self, schema: Schema, name: str) -> Query:
         parameters = self.parameters

@@ -16,6 +16,13 @@ from repro.model.serialize import (
     load_instance,
 )
 from repro.model.statistics import InstanceStatistics, describe_instance
+from repro.model.compressed import (
+    COMPRESSION_TIERS,
+    TIER_LOSSLESS,
+    TIER_LOSSY,
+    CompressedInstance,
+    LiftingMap,
+)
 
 __all__ = [
     "Attribute",
@@ -34,4 +41,9 @@ __all__ = [
     "load_instance",
     "InstanceStatistics",
     "describe_instance",
+    "CompressedInstance",
+    "LiftingMap",
+    "COMPRESSION_TIERS",
+    "TIER_LOSSLESS",
+    "TIER_LOSSY",
 ]

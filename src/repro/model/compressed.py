@@ -1,0 +1,256 @@
+"""Compressed-workload representations: super-transactions + lifting.
+
+Realistic OLTP traces contain many transactions that are access-identical
+and differ only in frequency.  The compression layer
+(:mod:`repro.reduction.compress`) clusters them into weighted
+*super-transactions*; this module holds the two value types the rest of
+the pipeline passes around:
+
+* :class:`LiftingMap` — the invertible mapping between original
+  transaction indices and super-transaction indices.  Lifting a
+  compressed placement fans each super-transaction's site row out to its
+  members; compressing a placement keeps the first member's row per
+  group.
+* :class:`CompressedInstance` — the compressed
+  :class:`~repro.model.instance.ProblemInstance` bundled with its
+  original, the lifting map, the tier that produced it and the computed
+  objective-error bound.
+
+Both are JSON round-trippable (``to_dict``/``from_dict``), like every
+other value in :mod:`repro.model`, so a compressed view can be queued,
+shipped and replayed exactly.
+
+The attribute side is untouched by workload compression: the compressed
+instance shares the original schema, so attribute placements ``y``
+transfer between the views verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.exceptions import InstanceError
+from repro.model.instance import ProblemInstance
+from repro.model.serialize import instance_from_dict, instance_to_dict
+
+#: Version stamp of the compressed-instance JSON document.
+COMPRESSED_FORMAT_VERSION = 1
+
+#: The recognised compression tiers.
+TIER_LOSSLESS = "lossless"
+TIER_LOSSY = "lossy"
+COMPRESSION_TIERS = (TIER_LOSSLESS, TIER_LOSSY)
+
+
+@dataclass(frozen=True)
+class LiftingMap:
+    """Original-transaction ↔ super-transaction index mapping.
+
+    ``groups[g]`` lists the original transaction indices merged into
+    super-transaction ``g``, in canonical (ascending) order; groups are
+    ordered by their first member, matching the compressed instance's
+    canonical transaction order.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    num_original_transactions: int
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for members in self.groups:
+            if not members:
+                raise InstanceError("lifting map contains an empty group")
+            seen.update(members)
+        expected = set(range(self.num_original_transactions))
+        if seen != expected:
+            raise InstanceError(
+                f"lifting map covers {len(seen)} of "
+                f"{self.num_original_transactions} original transactions"
+            )
+
+    @property
+    def num_super_transactions(self) -> int:
+        return len(self.groups)
+
+    @cached_property
+    def super_of(self) -> np.ndarray:
+        """Super-transaction index per original transaction (|T|,)."""
+        owner = np.empty(self.num_original_transactions, dtype=np.intp)
+        for g_index, members in enumerate(self.groups):
+            for member in members:
+                owner[member] = g_index
+        return owner
+
+    def lift_x(self, x_compressed: np.ndarray) -> np.ndarray:
+        """Fan a compressed placement ``(|T_c|, |S|)`` out to the
+        original transactions: every member takes its super's site."""
+        x_compressed = np.asarray(x_compressed)
+        if x_compressed.shape[0] != self.num_super_transactions:
+            raise InstanceError(
+                f"compressed placement has {x_compressed.shape[0]} rows, "
+                f"expected {self.num_super_transactions} super-transactions"
+            )
+        return x_compressed[self.super_of]
+
+    def compress_x(self, x_original: np.ndarray) -> np.ndarray:
+        """Restrict an original placement to one row per group (the
+        first member's); the left inverse of :meth:`lift_x`."""
+        x_original = np.asarray(x_original)
+        if x_original.shape[0] != self.num_original_transactions:
+            raise InstanceError(
+                f"original placement has {x_original.shape[0]} rows, "
+                f"expected {self.num_original_transactions} transactions"
+            )
+        representatives = np.asarray(
+            [members[0] for members in self.groups], dtype=np.intp
+        )
+        return x_original[representatives]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "groups": [list(members) for members in self.groups],
+            "num_original_transactions": self.num_original_transactions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LiftingMap":
+        try:
+            return cls(
+                groups=tuple(
+                    tuple(int(member) for member in members)
+                    for members in payload["groups"]
+                ),
+                num_original_transactions=int(
+                    payload["num_original_transactions"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise InstanceError(
+                f"malformed lifting-map payload: {error}"
+            ) from error
+
+
+@dataclass
+class CompressedInstance:
+    """A compressed problem instance plus everything needed to lift.
+
+    Attributes
+    ----------
+    original:
+        The uncompressed instance.
+    compressed:
+        The instance whose transactions are the super-transactions
+        (shares the original schema, so ``y`` placements transfer
+        verbatim).
+    lifting:
+        The transaction index mapping between the two views.
+    tier:
+        ``"lossless"`` (bit-identical signature merges, summed
+        frequencies) or ``"lossy"`` (near-duplicate merges under a
+        tolerance).
+    tolerance:
+        The caller-set lossy tolerance (0.0 for the lossless tier).
+    objective_error_bound:
+        A sound upper bound on the blended-objective (6) degradation the
+        merges can cause relative to releasing every merged transaction
+        to its own best site.  Exactly ``0.0`` for the lossless tier
+        under pure cost minimisation (``lambda = 1``).
+    """
+
+    original: ProblemInstance
+    compressed: ProblemInstance
+    lifting: LiftingMap
+    tier: str = TIER_LOSSLESS
+    tolerance: float = 0.0
+    objective_error_bound: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.tier not in COMPRESSION_TIERS:
+            raise InstanceError(
+                f"unknown compression tier {self.tier!r}; "
+                f"known: {', '.join(COMPRESSION_TIERS)}"
+            )
+        if self.lifting.num_original_transactions != self.original.num_transactions:
+            raise InstanceError(
+                "lifting map does not cover the original workload"
+            )
+        if self.lifting.num_super_transactions != self.compressed.num_transactions:
+            raise InstanceError(
+                "lifting map does not match the compressed workload"
+            )
+
+    @property
+    def num_original_transactions(self) -> int:
+        return self.original.num_transactions
+
+    @property
+    def num_super_transactions(self) -> int:
+        return self.compressed.num_transactions
+
+    @property
+    def compression_ratio(self) -> float:
+        """``|T| / |T_c|`` — higher is a stronger compression."""
+        return self.num_original_transactions / self.num_super_transactions
+
+    @property
+    def query_ratio(self) -> float:
+        """``|Q| / |Q_c|`` of the two views."""
+        return self.original.num_queries / self.compressed.num_queries
+
+    @property
+    def is_identity(self) -> bool:
+        """True when nothing merged (every group is a singleton)."""
+        return self.num_super_transactions == self.num_original_transactions
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary (exact inverse of
+        :meth:`from_dict`)."""
+        return {
+            "format_version": COMPRESSED_FORMAT_VERSION,
+            "tier": self.tier,
+            "tolerance": self.tolerance,
+            "objective_error_bound": self.objective_error_bound,
+            "original": instance_to_dict(self.original),
+            "compressed": instance_to_dict(self.compressed),
+            "lifting": self.lifting.to_dict(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CompressedInstance":
+        version = payload.get("format_version")
+        if version != COMPRESSED_FORMAT_VERSION:
+            raise InstanceError(
+                f"unsupported compressed-instance format version {version!r} "
+                f"(expected {COMPRESSED_FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                original=instance_from_dict(payload["original"]),
+                compressed=instance_from_dict(payload["compressed"]),
+                lifting=LiftingMap.from_dict(payload["lifting"]),
+                tier=payload.get("tier", TIER_LOSSLESS),
+                tolerance=float(payload.get("tolerance", 0.0)),
+                objective_error_bound=float(
+                    payload.get("objective_error_bound", 0.0)
+                ),
+                metadata=dict(payload.get("metadata") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise InstanceError(
+                f"malformed compressed-instance payload: {error}"
+            ) from error
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedInstance({self.tier}, "
+            f"|T|={self.num_original_transactions} -> "
+            f"{self.num_super_transactions} "
+            f"({self.compression_ratio:.1f}x), "
+            f"bound={self.objective_error_bound:.6g})"
+        )

@@ -5,10 +5,22 @@
   atomic group, shrinking ``|A|`` without changing the optimum.
 * :mod:`repro.reduction.heavy` — the 20/80 rule: solve the heaviest
   transactions first and extend the solution to the full workload.
+* :mod:`repro.reduction.compress` — workload compression: cluster
+  access-identical transactions into weighted super-transactions
+  (lossless or tolerance-bounded lossy) and lift solutions back.
 """
 
 from repro.reduction.cuts import attribute_groups, GroupedInstance, group_instance
 from repro.reduction.heavy import IterativeRefinement, solve_iterative
+from repro.reduction.compress import (
+    compress_instance,
+    compress_result,
+    lift_result,
+    query_access_signature,
+    query_signature,
+    transaction_access_signature,
+    transaction_signature,
+)
 
 __all__ = [
     "attribute_groups",
@@ -16,4 +28,11 @@ __all__ = [
     "group_instance",
     "IterativeRefinement",
     "solve_iterative",
+    "compress_instance",
+    "compress_result",
+    "lift_result",
+    "query_access_signature",
+    "query_signature",
+    "transaction_access_signature",
+    "transaction_signature",
 ]

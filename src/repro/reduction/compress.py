@@ -1,0 +1,432 @@
+"""Workload compression: signature-clustered super-transactions.
+
+The paper's Section 4 shrinks the *attribute* side of the problem
+(reasonable cuts, :mod:`repro.reduction.cuts`); million-transaction OLTP
+traces need the *transaction* side shrunk too, because many transactions
+are access-identical and differ only in frequency.  This module clusters
+transactions by access signature into weighted super-transactions:
+
+* **Lossless tier** — transactions whose query multisets are
+  bit-identical (kind, attribute set, extra tables, row statistics and
+  frequency all equal — the same (alpha, beta, gamma) columns) merge by
+  summing frequencies.  ``W[a,q] = w_a * f_q * n_{a,q}`` is linear in
+  frequency, so evaluating any placement on the compressed view gives
+  exactly the total the original view gives when the members share their
+  super's site; under pure cost minimisation (``lambda = 1``) the merged
+  transactions' placement-cost columns are proportional, so the optimum
+  itself is preserved and the reported error bound is ``0.0``.
+* **Lossy tier** — transactions whose *access* signatures match but
+  whose frequencies or row counts differ merge under a caller-set
+  tolerance.  Frequencies sum and row counts are frequency-averaged, so
+  total access weight is still preserved exactly; the only loss is the
+  forced co-location of members whose cost columns are no longer
+  proportional.  Each candidate merge carries a sound, computable bound
+  on that co-location penalty, and merges are accepted greedily while
+  the cumulative bound stays within ``tolerance * single_site_cost``.
+
+Either way the result is a :class:`~repro.model.compressed.
+CompressedInstance` whose :class:`~repro.model.compressed.LiftingMap`
+fans compressed placements back out to the original transactions;
+:func:`lift_result` re-evaluates the lifted placement on the original
+instance, so reported objectives are always true original-instance
+costs, never compressed-view estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.costmodel.coefficients import CostCoefficients, build_coefficients
+from repro.costmodel.config import CostParameters
+from repro.costmodel.evaluator import SolutionEvaluator
+from repro.exceptions import InstanceError
+from repro.model.compressed import (
+    COMPRESSION_TIERS,
+    TIER_LOSSLESS,
+    CompressedInstance,
+    LiftingMap,
+)
+from repro.model.instance import ProblemInstance
+from repro.model.workload import Query, Transaction, Workload
+from repro.partition.assignment import PartitioningResult
+
+
+# ----------------------------------------------------------------------
+# Signatures (the clustering keys)
+# ----------------------------------------------------------------------
+def query_access_signature(query: Query) -> tuple:
+    """The access shape of a query: what it touches, not how much.
+
+    Two queries with equal access signatures induce identical
+    ``alpha`` / ``beta`` / ``delta`` columns; only the magnitudes
+    (frequency, row counts) may differ.
+    """
+    return (
+        query.kind.value,
+        tuple(sorted(query.attributes)),
+        tuple(sorted(query.extra_tables)),
+    )
+
+
+def query_signature(query: Query) -> tuple:
+    """The full query signature: access shape plus exact magnitudes.
+
+    Row statistics are canonicalised over the *touched* tables (with
+    the 1.0 default filled in), so queries that spell the same
+    statistics differently still match.
+    """
+    rows = tuple(sorted((table, query.rows_for(table)) for table in query.tables))
+    return query_access_signature(query) + (rows, query.frequency)
+
+
+def transaction_access_signature(transaction: Transaction) -> tuple:
+    """Sorted multiset of the transaction's query access signatures."""
+    return tuple(sorted(query_access_signature(query) for query in transaction))
+
+
+def transaction_signature(transaction: Transaction) -> tuple:
+    """Sorted multiset of the transaction's full query signatures."""
+    return tuple(sorted(query_signature(query) for query in transaction))
+
+
+def _cluster(
+    instance: ProblemInstance, key_of
+) -> list[list[int]]:
+    """Group transaction indices by a signature key, preserving the
+    canonical order of each group's first member."""
+    groups: dict[tuple, list[int]] = {}
+    for t_index, transaction in enumerate(instance.transactions):
+        groups.setdefault(key_of(transaction), []).append(t_index)
+    return sorted(groups.values(), key=lambda members: members[0])
+
+
+# ----------------------------------------------------------------------
+# Error bounds
+# ----------------------------------------------------------------------
+def _query_sort_orders(
+    transactions: Sequence[Transaction],
+) -> list[list[int]]:
+    """Per member, its query indices sorted by full signature — the
+    cross-member pairing used when merging (members of one group have
+    equal sorted signature multisets, so position ``j`` pairs)."""
+    return [
+        sorted(range(len(t)), key=lambda j, t=t: query_signature(t.queries[j]))
+        for t in transactions
+    ]
+
+
+def _group_error_bound(
+    coefficients: CostCoefficients, members: Sequence[int]
+) -> float:
+    """A sound upper bound on the blended-objective (6) increase caused
+    by forcing ``members`` onto one site instead of letting each pick
+    its own.
+
+    Cost term: members with bit-identical full signatures (a *class*)
+    have equal placement-cost columns, so co-locating within a class is
+    free; co-locating the classes costs at most the summed placement
+    spread of all but one class, and the spread of a class on any
+    ``y`` is at most ``sum_a |c1[a, class]|``.  Load term (only when
+    ``lambda < 1``): the max site load can exceed the released
+    placement's by at most the read load of all but one member.
+    """
+    instance = coefficients.instance
+    lam = coefficients.parameters.load_balance_lambda
+    classes: dict[tuple, list[int]] = {}
+    for t_index in members:
+        signature = transaction_signature(instance.transactions[t_index])
+        classes.setdefault(signature, []).append(t_index)
+    spreads = [
+        float(np.abs(coefficients.c1[:, class_members].sum(axis=1)).sum())
+        for class_members in classes.values()
+    ]
+    bound = lam * (sum(spreads) - max(spreads))
+    if lam < 1.0:
+        loads = [float(coefficients.c3[:, t].sum()) for t in members]
+        bound += (1.0 - lam) * (sum(loads) - max(loads))
+    return bound
+
+
+# ----------------------------------------------------------------------
+# Building the compressed instance
+# ----------------------------------------------------------------------
+def _merge_group(
+    instance: ProblemInstance, members: Sequence[int], lossless: bool
+) -> Transaction:
+    """One super-transaction for ``members`` (first member = representative).
+
+    Queries pair across members by sorted full signature; each merged
+    query keeps the representative's name, kind and access sets, sums
+    the paired frequencies and (lossy tier) frequency-averages the
+    paired per-table row counts — which preserves the summed access
+    weight ``sum_i w_a * f_i * n_i`` exactly, since ``W`` is linear in
+    frequency.
+    """
+    transactions = [instance.transactions[t] for t in members]
+    orders = _query_sort_orders(transactions)
+    representative = transactions[0]
+    merged: dict[int, Query] = {}
+    for slot in range(len(representative)):
+        paired = [
+            transactions[m].queries[orders[m][slot]]
+            for m in range(len(transactions))
+        ]
+        rep_query = paired[0]
+        frequency = float(sum(query.frequency for query in paired))
+        if lossless:
+            rows = {table: rep_query.rows_for(table) for table in rep_query.tables}
+        else:
+            rows = {
+                table: sum(q.frequency * q.rows_for(table) for q in paired)
+                / frequency
+                for table in rep_query.tables
+            }
+        merged[orders[0][slot]] = Query(
+            name=rep_query.name,
+            kind=rep_query.kind,
+            attributes=rep_query.attributes,
+            rows=rows,
+            frequency=frequency,
+            extra_tables=rep_query.extra_tables,
+        )
+    queries = tuple(merged[position] for position in range(len(representative)))
+    return Transaction(f"{representative.name}__x{len(members)}", queries)
+
+
+def _build_compressed(
+    instance: ProblemInstance,
+    groups: list[list[int]],
+    tier: str,
+    tolerance: float,
+    objective_error_bound: float,
+) -> CompressedInstance:
+    lifting = LiftingMap(
+        groups=tuple(tuple(members) for members in groups),
+        num_original_transactions=instance.num_transactions,
+    )
+    if lifting.num_super_transactions == instance.num_transactions:
+        # Nothing merged: share the original instance so the pipeline
+        # can serve it without any detour.
+        return CompressedInstance(
+            original=instance,
+            compressed=instance,
+            lifting=lifting,
+            tier=tier,
+            tolerance=tolerance,
+            objective_error_bound=0.0,
+        )
+    transactions = tuple(
+        instance.transactions[members[0]]
+        if len(members) == 1
+        else _merge_group(instance, members, lossless=tier == TIER_LOSSLESS)
+        for members in groups
+    )
+    workload = Workload(
+        transactions, name=f"{instance.workload.name}/compressed"
+    )
+    compressed = ProblemInstance(
+        instance.schema, workload, name=f"{instance.name} ({tier}-compressed)"
+    )
+    return CompressedInstance(
+        original=instance,
+        compressed=compressed,
+        lifting=lifting,
+        tier=tier,
+        tolerance=tolerance,
+        objective_error_bound=objective_error_bound,
+    )
+
+
+def compress_instance(
+    instance: ProblemInstance,
+    tier: str = TIER_LOSSLESS,
+    tolerance: float = 0.0,
+    parameters: CostParameters | None = None,
+    coefficients: CostCoefficients | None = None,
+) -> CompressedInstance:
+    """Cluster ``instance``'s transactions into super-transactions.
+
+    Parameters
+    ----------
+    instance:
+        The workload to compress.
+    tier:
+        ``"lossless"`` merges only bit-identical signatures;
+        ``"lossy"`` also merges access-identical near-duplicates while
+        the cumulative error bound stays within
+        ``tolerance * single_site_cost``.
+    tolerance:
+        The lossy budget, relative to the instance's single-site cost
+        (ignored by the lossless tier).
+    parameters:
+        Cost parameters the error bounds are computed under (default:
+        :class:`~repro.costmodel.config.CostParameters`).
+    coefficients:
+        Prebuilt coefficients for ``instance`` (e.g. from an advisor's
+        cache) to avoid rebuilding them for the bounds; must match
+        ``parameters`` when both are given.
+    """
+    if tier not in COMPRESSION_TIERS:
+        raise InstanceError(
+            f"unknown compression tier {tier!r}; "
+            f"known: {', '.join(COMPRESSION_TIERS)}"
+        )
+    if tolerance < 0:
+        raise InstanceError(f"tolerance must be >= 0, got {tolerance!r}")
+    if coefficients is not None:
+        if parameters is not None and coefficients.parameters != parameters:
+            raise InstanceError(
+                "compress_instance got coefficients built under different "
+                "parameters than the ones passed"
+            )
+        parameters = coefficients.parameters
+    parameters = parameters or CostParameters()
+    lam = parameters.load_balance_lambda
+
+    def bounds_coefficients() -> CostCoefficients:
+        nonlocal coefficients
+        if coefficients is None:
+            coefficients = build_coefficients(instance, parameters)
+        return coefficients
+
+    lossless_groups = _cluster(instance, transaction_signature)
+    if tier == TIER_LOSSLESS:
+        groups = lossless_groups
+        bound = 0.0
+        if lam < 1.0 and any(len(members) > 1 for members in groups):
+            # Pure cost is preserved exactly; the load-balance term of
+            # objective (6) can still degrade when identical
+            # transactions are forced together instead of spread.
+            bound = float(
+                sum(
+                    _group_error_bound(bounds_coefficients(), members)
+                    for members in groups
+                    if len(members) > 1
+                )
+            )
+        return _build_compressed(instance, groups, tier, 0.0, bound)
+
+    # Lossy tier: cluster by access signature, then accept the cheapest
+    # cross-class merges while the cumulative bound fits the budget.
+    access_groups = _cluster(instance, transaction_access_signature)
+    lossless_of: dict[int, list[list[int]]] = {}
+    candidates: list[tuple[float, int]] = []
+    for g_index, members in enumerate(access_groups):
+        classes: dict[tuple, list[int]] = {}
+        for t_index in members:
+            signature = transaction_signature(instance.transactions[t_index])
+            classes.setdefault(signature, []).append(t_index)
+        lossless_of[g_index] = sorted(
+            classes.values(), key=lambda group: group[0]
+        )
+        if len(lossless_of[g_index]) > 1:
+            candidates.append(
+                (_group_error_bound(bounds_coefficients(), members), g_index)
+            )
+    budget = tolerance * bounds_coefficients().single_site_cost()
+    accepted: set[int] = set()
+    spent = 0.0
+    for group_bound, g_index in sorted(candidates):
+        if spent + group_bound <= budget:
+            accepted.add(g_index)
+            spent += group_bound
+    groups = []
+    for g_index, members in enumerate(access_groups):
+        if g_index in accepted or len(lossless_of[g_index]) == 1:
+            groups.append(members)
+        else:
+            groups.extend(lossless_of[g_index])
+    groups.sort(key=lambda members: members[0])
+    bound = spent
+    if lam < 1.0:
+        bound += float(
+            sum(
+                _group_error_bound(bounds_coefficients(), members)
+                for g_index, members in enumerate(access_groups)
+                if g_index not in accepted
+                for members in lossless_of[g_index]
+                if len(members) > 1
+            )
+        )
+    return _build_compressed(instance, groups, tier, tolerance, bound)
+
+
+# ----------------------------------------------------------------------
+# Moving solutions between the views
+# ----------------------------------------------------------------------
+def lift_result(
+    compressed: CompressedInstance,
+    result: PartitioningResult,
+    coefficients: CostCoefficients | None = None,
+) -> PartitioningResult:
+    """Lift a compressed-view solution to the original instance.
+
+    Every member transaction takes its super-transaction's site;
+    attribute placements transfer verbatim.  The returned objective is
+    re-evaluated on the *original* instance, so it is the true cost —
+    for the lossless tier under ``lambda = 1`` it equals the compressed
+    objective exactly (the paper's ``W`` is linear in frequency).
+    """
+    if coefficients is None:
+        coefficients = build_coefficients(
+            compressed.original, result.coefficients.parameters
+        )
+    x = compressed.lifting.lift_x(result.x)
+    y = result.y
+    evaluator = SolutionEvaluator(coefficients)
+    # Optimality transfers only when the merge provably preserved the
+    # optimum (lossless tier, zero reported bound).
+    proven = (
+        result.proven_optimal
+        and compressed.tier == TIER_LOSSLESS
+        and compressed.objective_error_bound == 0.0
+    )
+    return PartitioningResult(
+        coefficients=coefficients,
+        x=x,
+        y=y,
+        objective=evaluator.objective4(x, y),
+        solver=result.solver if compressed.is_identity
+        else f"{result.solver}+compress",
+        wall_time=result.wall_time,
+        proven_optimal=proven,
+        metadata={
+            **result.metadata,
+            "compression_tier": compressed.tier,
+            "compression_ratio": compressed.compression_ratio,
+            "compressed_transactions": compressed.num_super_transactions,
+            "original_transactions": compressed.num_original_transactions,
+            "compressed_objective": result.objective,
+            "objective_error_bound": compressed.objective_error_bound,
+        },
+    )
+
+
+def compress_result(
+    compressed: CompressedInstance,
+    result: PartitioningResult,
+    coefficients: CostCoefficients,
+) -> PartitioningResult:
+    """Restrict an original-view solution to the compressed view (used
+    to carry warm starts into a compressed solve).
+
+    Each group keeps its first member's site row.  Feasibility is
+    preserved: group members share their access signature, so the
+    representative's read set is covered wherever the original
+    placement was feasible.
+    """
+    x = compressed.lifting.compress_x(result.x)
+    y = result.y
+    evaluator = SolutionEvaluator(coefficients)
+    return PartitioningResult(
+        coefficients=coefficients,
+        x=x,
+        y=y,
+        objective=evaluator.objective4(x, y),
+        solver=result.solver,
+        wall_time=result.wall_time,
+        proven_optimal=False,
+        metadata=dict(result.metadata),
+    )

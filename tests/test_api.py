@@ -630,7 +630,7 @@ class TestLinearizationLru:
 
 
 # ----------------------------------------------------------------------
-# Deprecated baseline keyword spellings
+# Removed baseline keyword spellings
 # ----------------------------------------------------------------------
 BASELINES = [
     round_robin_partitioning,
@@ -642,12 +642,14 @@ BASELINES = [
 
 class TestBaselineSignatureNormalization:
     @pytest.mark.parametrize("baseline", BASELINES)
-    def test_parameters_keyword_warns_and_matches(self, baseline, tiny_instance):
-        parameters = CostParameters(network_penalty=4.0)
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = baseline(tiny_instance, 2, parameters=parameters, seed=0)
-        modern = baseline(tiny_instance, 2, params=parameters, seed=0)
-        _assert_same_solution(legacy, modern)
+    def test_parameters_keyword_removed(self, baseline, tiny_instance):
+        # The deprecation cycle is complete: the old spelling is a
+        # TypeError carrying the migration message, not a warning.
+        with pytest.raises(TypeError, match="rename it to params="):
+            baseline(
+                tiny_instance, 2,
+                parameters=CostParameters(network_penalty=4.0), seed=0,
+            )
 
     @pytest.mark.parametrize("baseline", BASELINES)
     def test_unknown_keyword_rejected(self, baseline, tiny_instance):
@@ -655,12 +657,11 @@ class TestBaselineSignatureNormalization:
             baseline(tiny_instance, 2, not_a_knob=1)
 
     def test_both_spellings_rejected(self, tiny_instance):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="both"):
-                round_robin_partitioning(
-                    tiny_instance, 2,
-                    params=CostParameters(), parameters=CostParameters(),
-                )
+        with pytest.raises(TypeError, match="no longer accepts"):
+            round_robin_partitioning(
+                tiny_instance, 2,
+                params=CostParameters(), parameters=CostParameters(),
+            )
 
     @pytest.mark.parametrize("baseline", BASELINES)
     def test_seed_accepted_positionally(self, baseline, tiny_instance):
@@ -691,7 +692,8 @@ class TestCliRequestMapping:
         defaults = dict(
             solver="sa", sites=2, penalty=8.0, load_balance=0.1,
             disjoint=False, time_limit=None, seed=None, restarts=None,
-            jobs=None, backend=None, prune=False,
+            jobs=None, backend=None, prune=False, compress="off",
+            compress_tolerance=None,
         )
         defaults.update(overrides)
         return argparse.Namespace(**defaults)

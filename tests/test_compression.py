@@ -1,0 +1,504 @@
+"""Workload compression: signatures, lifting invariants, the pipeline.
+
+The load-bearing properties pinned here:
+
+* **Lossless determinism contract** — compress→solve→lift through
+  ``advise()`` returns an objective bitwise-equal to the direct solve
+  for *every* registered strategy per master seed (pure cost
+  minimisation; integral instance data keeps float sums exact).
+* **Evaluation commutes** — for any placement of the compressed view,
+  evaluating there equals evaluating its lifting on the original.
+* **Lossy soundness** — the measured objective gap of an exact
+  (QP) solve never exceeds the tier's reported error bound.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Advisor, SolveRequest, default_registry
+from repro.costmodel.coefficients import build_coefficients
+from repro.costmodel.config import CostParameters
+from repro.costmodel.evaluator import SolutionEvaluator, feasibility_violations
+from repro.exceptions import InstanceError, OptionsError
+from repro.instances.library import DUPLICATE_INSTANCES, named_instance
+from repro.instances.random_gen import InstanceParameters, generate_instance
+from repro.model.compressed import CompressedInstance, LiftingMap
+from repro.reduction.compress import (
+    compress_instance,
+    compress_result,
+    query_access_signature,
+    query_signature,
+    transaction_signature,
+)
+
+#: Integral data + lambda=1 keeps every float sum exact, so equal real
+#: objectives are bitwise-equal floats.
+PURE_COST = CostParameters(load_balance_lambda=1.0)
+
+#: Fast SA settings for the pipeline parity sweep.
+SA_QUICK = {"inner_loops": 5, "max_outer_loops": 8, "patience": 3}
+
+
+def duplicate_heavy_instance(seed: int = 99, jitter: float = 0.0):
+    """A small duplicate-heavy instance (QP-solvable in CI time)."""
+    return generate_instance(
+        InstanceParameters(
+            name=f"dup-prop-{seed}",
+            num_transactions=18,
+            num_tables=4,
+            max_queries_per_transaction=2,
+            update_percent=10.0,
+            max_attributes_per_table=6,
+            max_table_refs_per_query=2,
+            max_attribute_refs_per_query=4,
+            attribute_widths=(2.0, 4.0, 8.0),
+            max_frequency=20,
+            max_rows=8,
+            duplicate_rate=0.7,
+            duplicate_skew=1.0,
+            duplicate_jitter=jitter,
+        ),
+        seed=seed,
+    )
+
+
+def random_placement(rng, num_transactions, num_attributes, num_sites):
+    """A feasibility-unchecked random (x, y) pair with full y coverage."""
+    x = np.zeros((num_transactions, num_sites), dtype=bool)
+    x[np.arange(num_transactions), rng.integers(0, num_sites, num_transactions)] = True
+    y = rng.random((num_attributes, num_sites)) < 0.6
+    y[:, 0] |= ~y.any(axis=1)
+    return x, y
+
+
+# ----------------------------------------------------------------------
+# Signatures and clustering
+# ----------------------------------------------------------------------
+class TestSignatures:
+    def test_lossless_groups_are_bit_identical_transactions(self):
+        instance = duplicate_heavy_instance()
+        compressed = compress_instance(instance, parameters=PURE_COST)
+        assert not compressed.is_identity
+        for members in compressed.lifting.groups:
+            signatures = {
+                transaction_signature(instance.transactions[t])
+                for t in members
+            }
+            assert len(signatures) == 1
+
+    def test_lossless_sums_frequencies_per_paired_query(self):
+        instance = duplicate_heavy_instance()
+        compressed = compress_instance(instance, parameters=PURE_COST)
+        for g_index, members in enumerate(compressed.lifting.groups):
+            merged = compressed.compressed.transactions[g_index]
+            member_total = sum(
+                query.frequency
+                for t in members
+                for query in instance.transactions[t]
+            )
+            merged_total = sum(query.frequency for query in merged)
+            assert merged_total == member_total
+
+    def test_access_signature_ignores_magnitudes(self):
+        instance = duplicate_heavy_instance(jitter=1.0)
+        for transaction in instance.transactions:
+            for query in transaction:
+                access = query_access_signature(query)
+                full = query_signature(query)
+                assert full[: len(access)] == access
+
+    def test_identity_when_nothing_merges(self):
+        instance = named_instance("rndAt8x15")
+        compressed = compress_instance(instance, parameters=PURE_COST)
+        assert compressed.is_identity
+        assert compressed.compressed is instance
+        assert compressed.compression_ratio == 1.0
+        assert compressed.objective_error_bound == 0.0
+
+    def test_unknown_tier_and_negative_tolerance_rejected(self):
+        instance = duplicate_heavy_instance()
+        with pytest.raises(InstanceError, match="unknown compression tier"):
+            compress_instance(instance, tier="zstd")
+        with pytest.raises(InstanceError, match="tolerance"):
+            compress_instance(instance, tier="lossy", tolerance=-0.5)
+
+    def test_mismatched_coefficients_rejected(self):
+        instance = duplicate_heavy_instance()
+        coefficients = build_coefficients(instance, PURE_COST)
+        with pytest.raises(InstanceError, match="different"):
+            compress_instance(
+                instance,
+                parameters=CostParameters(load_balance_lambda=0.5),
+                coefficients=coefficients,
+            )
+
+
+class TestLiftingMap:
+    def test_lift_and_compress_are_inverse_on_super_rows(self):
+        instance = duplicate_heavy_instance()
+        compressed = compress_instance(instance, parameters=PURE_COST)
+        lifting = compressed.lifting
+        rng = np.random.default_rng(0)
+        x_c = rng.random((lifting.num_super_transactions, 3)) < 0.5
+        assert np.array_equal(lifting.compress_x(lifting.lift_x(x_c)), x_c)
+
+    def test_shape_validation(self):
+        lifting = LiftingMap(groups=((0, 2), (1,)), num_original_transactions=3)
+        with pytest.raises(InstanceError, match="rows"):
+            lifting.lift_x(np.zeros((3, 2)))
+        with pytest.raises(InstanceError, match="rows"):
+            lifting.compress_x(np.zeros((2, 2)))
+
+    def test_coverage_validation(self):
+        with pytest.raises(InstanceError, match="covers"):
+            LiftingMap(groups=((0, 1),), num_original_transactions=3)
+        with pytest.raises(InstanceError, match="empty"):
+            LiftingMap(groups=((0,), ()), num_original_transactions=1)
+
+    def test_json_round_trip(self):
+        instance = duplicate_heavy_instance()
+        compressed = compress_instance(
+            instance, tier="lossy", tolerance=0.1, parameters=PURE_COST
+        )
+        payload = json.loads(json.dumps(compressed.to_dict()))
+        restored = CompressedInstance.from_dict(payload)
+        assert restored.lifting == compressed.lifting
+        assert restored.tier == compressed.tier
+        assert restored.tolerance == compressed.tolerance
+        assert restored.objective_error_bound == compressed.objective_error_bound
+        assert (
+            restored.compressed.num_transactions
+            == compressed.compressed.num_transactions
+        )
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(InstanceError, match="malformed"):
+            LiftingMap.from_dict({"groups": [[0]]})
+        with pytest.raises(InstanceError, match="format version"):
+            CompressedInstance.from_dict({"format_version": 99})
+
+
+# ----------------------------------------------------------------------
+# Evaluation commutes with lossless compression
+# ----------------------------------------------------------------------
+class TestEvaluationCommutes:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_compressed_objective_equals_lifted_objective(self, seed):
+        instance = duplicate_heavy_instance()
+        compressed = compress_instance(instance, parameters=PURE_COST)
+        coeff_original = build_coefficients(instance, PURE_COST)
+        coeff_compressed = build_coefficients(compressed, PURE_COST)
+        assert coeff_compressed.num_transactions < coeff_original.num_transactions
+        rng = np.random.default_rng(seed)
+        x_c, y = random_placement(
+            rng,
+            compressed.num_super_transactions,
+            instance.num_attributes,
+            3,
+        )
+        on_compressed = SolutionEvaluator(coeff_compressed).objective4(x_c, y)
+        on_original = SolutionEvaluator(coeff_original).objective4(
+            compressed.lifting.lift_x(x_c), y
+        )
+        assert on_compressed == on_original
+
+    def test_build_coefficients_view_selection(self):
+        instance = duplicate_heavy_instance()
+        compressed = compress_instance(instance, parameters=PURE_COST)
+        original_view = build_coefficients(compressed, PURE_COST, view="original")
+        assert original_view.num_transactions == instance.num_transactions
+        with pytest.raises(ValueError, match="view"):
+            build_coefficients(compressed, PURE_COST, view="sideways")
+
+    def test_nbytes_shrinks_with_the_transaction_count(self):
+        instance = duplicate_heavy_instance()
+        compressed = compress_instance(instance, parameters=PURE_COST)
+        full = build_coefficients(instance, PURE_COST).nbytes
+        small = build_coefficients(compressed, PURE_COST).nbytes
+        assert 0 < small < full
+
+
+# ----------------------------------------------------------------------
+# The determinism contract: every strategy, bitwise
+# ----------------------------------------------------------------------
+class TestLosslessPipelineParity:
+    @pytest.mark.parametrize(
+        "strategy", sorted(default_registry().names()) + ["sa-portfolio->qp"]
+    )
+    def test_objective_bitwise_equal_to_direct_solve(self, strategy):
+        instance = duplicate_heavy_instance()
+        advisor = Advisor()
+        num_sites = 1 if strategy == "single-site" else 3
+        options: dict = {}
+        if strategy in ("sa", "sa-portfolio"):
+            options = dict(SA_QUICK)
+        elif strategy == "sa-portfolio->qp":
+            options = {"sa-portfolio": dict(SA_QUICK), "qp": {}}
+        request = SolveRequest(
+            instance=instance,
+            num_sites=num_sites,
+            parameters=PURE_COST,
+            strategy=strategy,
+            options=options,
+            seed=123,
+        )
+        direct = advisor.advise(request)
+        piped = advisor.advise(request.with_(compression="lossless"))
+        # The determinism contract: bitwise-equal objective.  (x, y) may
+        # differ by a site permutation for stochastic/MIP strategies, so
+        # the placement itself is only checked for feasibility.
+        assert piped.objective == direct.objective
+        assert feasibility_violations(
+            piped.result.coefficients, piped.x, piped.y
+        ) == []
+
+    def test_lifted_placement_reevaluates_on_the_original(self):
+        instance = duplicate_heavy_instance()
+        advisor = Advisor()
+        request = SolveRequest(
+            instance=instance, num_sites=3, parameters=PURE_COST,
+            strategy="greedy", compression="lossless",
+        )
+        report = advisor.advise(request)
+        # The report's x covers the *original* transactions, and its
+        # objective is the evaluator's verdict on the original view.
+        assert report.x.shape[0] == instance.num_transactions
+        coefficients = build_coefficients(instance, PURE_COST)
+        assert report.objective == SolutionEvaluator(coefficients).objective4(
+            report.x, report.y
+        )
+        assert report.result.solver.endswith("+compress")
+        assert report.metadata["compression_ratio"] > 5.0
+        assert report.metadata["objective_error_bound"] == 0.0
+
+    def test_round_robin_served_uncompressed(self):
+        instance = duplicate_heavy_instance()
+        advisor = Advisor()
+        request = SolveRequest(
+            instance=instance, num_sites=3, parameters=PURE_COST,
+            strategy="round-robin",
+        )
+        direct = advisor.advise(request)
+        piped = advisor.advise(request.with_(compression="lossless"))
+        assert piped.objective == direct.objective
+        assert piped.metadata["compression_skipped"] == "position-based strategy"
+
+    def test_identity_compression_serves_directly(self):
+        instance = named_instance("rndAt8x15")
+        advisor = Advisor()
+        request = SolveRequest(
+            instance=instance, num_sites=2, parameters=PURE_COST,
+            strategy="greedy", seed=5,
+        )
+        direct = advisor.advise(request)
+        piped = advisor.advise(request.with_(compression="lossless"))
+        assert piped.objective == direct.objective
+        assert not piped.result.solver.endswith("+compress")
+        assert piped.metadata["compression_ratio"] == 1.0
+
+    def test_warm_start_crosses_the_views(self):
+        instance = duplicate_heavy_instance()
+        advisor = Advisor()
+        request = SolveRequest(
+            instance=instance, num_sites=3, parameters=PURE_COST,
+            strategy="qp", compression="lossless", seed=1,
+        )
+        seed_report = advisor.advise(request.with_(strategy="greedy"))
+        warm = advisor.advise(request, warm_start=seed_report.result)
+        cold = advisor.advise(request)
+        assert warm.objective == cold.objective
+
+    def test_lossless_with_blended_lambda_reports_honest_bound(self):
+        instance = duplicate_heavy_instance()
+        blended = CostParameters(load_balance_lambda=0.9)
+        compressed = compress_instance(instance, parameters=blended)
+        # Cost is preserved exactly, but the load-balance term of
+        # objective (6) can degrade; the bound must say so.
+        assert compressed.objective_error_bound > 0.0
+
+
+# ----------------------------------------------------------------------
+# Lossy tier: measured gap within the reported bound
+# ----------------------------------------------------------------------
+class TestLossyTier:
+    @pytest.mark.parametrize("tolerance", [0.01, 0.05, 0.25])
+    def test_exact_solve_gap_never_exceeds_bound(self, tolerance):
+        instance = duplicate_heavy_instance(jitter=0.6)
+        advisor = Advisor()
+        request = SolveRequest(
+            instance=instance, num_sites=2, parameters=PURE_COST,
+            strategy="qp", seed=3,
+        )
+        direct = advisor.advise(request)
+        lossy = advisor.advise(
+            request.with_(
+                compression="lossy", compression_tolerance=tolerance
+            )
+        )
+        bound = lossy.metadata.get("objective_error_bound", 0.0)
+        gap = lossy.objective - direct.objective
+        assert gap <= bound + 1e-9
+        assert feasibility_violations(
+            lossy.result.coefficients, lossy.x, lossy.y
+        ) == []
+
+    def test_bound_respects_the_budget(self):
+        instance = duplicate_heavy_instance(jitter=0.6)
+        coefficients = build_coefficients(instance, PURE_COST)
+        tolerance = 0.05
+        compressed = compress_instance(
+            instance, tier="lossy", tolerance=tolerance,
+            coefficients=coefficients,
+        )
+        assert (
+            compressed.objective_error_bound
+            <= tolerance * coefficients.single_site_cost() + 1e-9
+        )
+
+    def test_larger_tolerance_merges_at_least_as_much(self):
+        instance = duplicate_heavy_instance(jitter=0.6)
+        sizes = [
+            compress_instance(
+                instance, tier="lossy", tolerance=tolerance,
+                parameters=PURE_COST,
+            ).num_super_transactions
+            for tolerance in (0.0, 0.05, 0.5)
+        ]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_lossy_preserves_total_access_weight(self):
+        # Frequency-weighted row averaging keeps sum_i f_i * n_i exact,
+        # so the single-site (|S|=1) cost of the two views is equal.
+        instance = duplicate_heavy_instance(jitter=0.6)
+        compressed = compress_instance(
+            instance, tier="lossy", tolerance=1.0, parameters=PURE_COST
+        )
+        assert not compressed.is_identity
+        original = build_coefficients(instance, PURE_COST).single_site_cost()
+        merged = build_coefficients(compressed, PURE_COST).single_site_cost()
+        assert merged == pytest.approx(original, rel=1e-12)
+
+    def test_compress_result_restricts_feasibly(self):
+        instance = duplicate_heavy_instance(jitter=0.6)
+        compressed = compress_instance(
+            instance, tier="lossy", tolerance=0.5, parameters=PURE_COST
+        )
+        advisor = Advisor()
+        direct = advisor.advise(
+            SolveRequest(
+                instance=instance, num_sites=2, parameters=PURE_COST,
+                strategy="greedy",
+            )
+        )
+        coefficients = build_coefficients(compressed, PURE_COST)
+        restricted = compress_result(compressed, direct.result, coefficients)
+        assert restricted.x.shape[0] == compressed.num_super_transactions
+        assert feasibility_violations(
+            coefficients, restricted.x, restricted.y
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# Request plumbing and the duplicate-heavy generator
+# ----------------------------------------------------------------------
+class TestRequestPlumbing:
+    def test_compression_fields_round_trip(self, tiny_instance):
+        request = SolveRequest(
+            tiny_instance, 2, strategy="greedy",
+            compression="lossy", compression_tolerance=0.25,
+        )
+        restored = SolveRequest.from_json(request.to_json())
+        assert restored.compression == "lossy"
+        assert restored.compression_tolerance == 0.25
+
+    def test_legacy_payload_defaults_to_off(self, tiny_instance):
+        payload = SolveRequest(tiny_instance, 2).to_dict()
+        del payload["compression"]
+        del payload["compression_tolerance"]
+        restored = SolveRequest.from_dict(payload)
+        assert restored.compression == "off"
+        assert restored.compression_tolerance == 0.0
+
+    def test_validation(self, tiny_instance):
+        with pytest.raises(OptionsError, match="compression mode"):
+            SolveRequest(tiny_instance, 2, compression="zip")
+        with pytest.raises(OptionsError, match="compression_tolerance"):
+            SolveRequest(
+                tiny_instance, 2, compression="lossy",
+                compression_tolerance=-1.0,
+            )
+
+
+class TestDuplicateGenerator:
+    def test_zero_rate_reproduces_the_paper_generator(self):
+        base = InstanceParameters(name="ctl", num_transactions=12, num_tables=5)
+        plain = generate_instance(base, seed=7)
+        explicit = generate_instance(base.with_(duplicate_rate=0.0), seed=7)
+        assert json.dumps(
+            [t.name for t in plain.transactions]
+        ) == json.dumps([t.name for t in explicit.transactions])
+        assert (
+            transaction_signature(plain.transactions[3])
+            == transaction_signature(explicit.transactions[3])
+        )
+
+    def test_duplicate_rate_produces_mergeable_transactions(self):
+        instance = duplicate_heavy_instance()
+        signatures = [
+            transaction_signature(t) for t in instance.transactions
+        ]
+        assert len(set(signatures)) < len(signatures) / 2
+
+    def test_jitter_keeps_access_shape_but_changes_magnitudes(self):
+        instance = duplicate_heavy_instance(seed=5, jitter=1.0)
+        compressed_lossless = compress_instance(instance, parameters=PURE_COST)
+        compressed_lossy = compress_instance(
+            instance, tier="lossy", tolerance=10.0, parameters=PURE_COST
+        )
+        assert (
+            compressed_lossy.num_super_transactions
+            < compressed_lossless.num_super_transactions
+        )
+
+    def test_library_entries_compress_five_fold(self):
+        assert "rndDupAt8x120" in DUPLICATE_INSTANCES
+        instance = named_instance("rndDupAt8x120")
+        compressed = compress_instance(instance, parameters=PURE_COST)
+        assert compressed.compression_ratio >= 5.0
+
+    def test_knob_validation(self):
+        with pytest.raises(InstanceError, match="duplicate_rate"):
+            InstanceParameters(duplicate_rate=1.5)
+        with pytest.raises(InstanceError, match="duplicate_skew"):
+            InstanceParameters(duplicate_skew=-1.0)
+        with pytest.raises(InstanceError, match="duplicate_jitter"):
+            InstanceParameters(duplicate_jitter=-0.1)
+
+
+class TestCliCompression:
+    def test_advise_with_compression_prints_the_ratio(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "advise", "--instance", "rndDupAt8x120", "--sites", "2",
+            "--solver", "greedy", "--load-balance", "0",
+            "--compress", "lossless",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compression   : lossless 120 -> " in out
+
+    def test_tolerance_requires_lossy(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "advise", "--instance", "rndDupAt8x120", "--sites", "2",
+            "--solver", "greedy", "--compress", "lossless",
+            "--compress-tolerance", "0.1",
+        ])
+        assert code == 1
+        assert "--compress-tolerance" in capsys.readouterr().err
