@@ -71,6 +71,28 @@ class SolveReport:
     def metadata(self) -> dict[str, Any]:
         return self.result.metadata
 
+    @property
+    def resilience(self) -> dict[str, int]:
+        """Fault/skip telemetry of the solve's restart portfolio.
+
+        ``pruned_restarts`` (skipped by the shared-incumbent proof),
+        ``retried_restarts`` (distinct restarts that needed a retry),
+        ``requeue_count`` (total failed/lost attempts re-dispatched) and
+        ``worker_failures`` (faulted runs, dead connections, stalled
+        heartbeats).  All zero for single-run strategies and for
+        backends without fault tolerance (serial/process).
+        """
+        metadata = self.result.metadata
+        return {
+            key: int(metadata.get(key, 0))
+            for key in (
+                "pruned_restarts",
+                "retried_restarts",
+                "requeue_count",
+                "worker_failures",
+            )
+        }
+
     def __repr__(self) -> str:
         return (
             f"SolveReport(strategy={self.strategy!r}, "

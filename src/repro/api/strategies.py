@@ -142,9 +142,11 @@ def sa_portfolio_strategy(
     """Best-of-N multi-start annealing (``restarts`` defaults to 4; set
     ``restarts``/``jobs`` in the options, plus ``backend`` to pick an
     execution backend from :mod:`repro.sa.backends` — "serial",
-    "process", "thread", "queue" — and ``prune`` to early-skip restarts
-    the shared incumbent proves unable to win; results are identical
-    whatever the backend or prune setting)."""
+    "process", "thread", "queue", "socket" (the fault-tolerant
+    multi-box transport; tune it with ``workers``, ``max_retries`` and
+    the heartbeat/backoff options) — and ``prune`` to early-skip
+    restarts the shared incumbent proves unable to win; results are
+    identical whatever the backend, fault history or prune setting)."""
     _check_options(request, _SA_OPTION_KEYS, "sa-portfolio")
     options = _sa_options_from(request, restarts_default=DEFAULT_PORTFOLIO_RESTARTS)
     return SaPartitioner(

@@ -9,7 +9,9 @@ Installed as ``repro-partition`` (also ``python -m repro``):
   or a ``->`` chain such as ``sa-portfolio->qp``),
 * ``repro-partition advise --schema schema.sql --workload load.sql ...``
   — partition a user-supplied SQL workload,
-* ``repro-partition bench table3`` — regenerate a paper table.
+* ``repro-partition bench table3`` — regenerate a paper table,
+* ``repro-partition worker --connect HOST:PORT`` — serve as a remote
+  restart worker for an advisor running ``--backend socket``.
 
 Every solve is served through :func:`repro.api.advise`, the same
 entry point the benchmarks, sweeps and library callers use.
@@ -78,6 +80,8 @@ def _advise_request(
         portfolio["jobs"] = args.jobs
     if args.backend is not None:
         portfolio["backend"] = args.backend
+    if args.workers is not None:
+        portfolio["workers"] = args.workers
     if args.prune:
         portfolio["prune"] = True
 
@@ -89,7 +93,12 @@ def _advise_request(
             "--restarts configures the SA multi-start portfolio (or the "
             "hillclimb baseline); use an SA-family solver with it"
         )
-    for flag, key in (("--jobs", "jobs"), ("--backend", "backend"), ("--prune", "prune")):
+    for flag, key in (
+        ("--jobs", "jobs"),
+        ("--backend", "backend"),
+        ("--workers", "workers"),
+        ("--prune", "prune"),
+    ):
         if key in portfolio and not any(
             stage in _PORTFOLIO_STRATEGIES for stage in stages
         ):
@@ -158,12 +167,14 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         print(f"strategy      : {args.solver} -> resolved {report.strategy}")
     if result.metadata.get("restarts", 1) > 1:
         pruned = result.metadata.get("pruned_restarts", 0)
+        requeued = result.metadata.get("requeue_count", 0)
         print(
             f"portfolio     : best-of-{result.metadata['restarts']} "
             f"(restart {result.metadata['best_restart']} won, "
             f"jobs={result.metadata['jobs']}, "
             f"{result.metadata['executor']} executor"
             + (f", {pruned} pruned" if pruned else "")
+            + (f", {requeued} requeued after faults" if requeued else "")
             + ")"
         )
     if args.compress != "off":
@@ -191,6 +202,16 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         print()
         print(render_layout(result))
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Delegate to ``python -m repro.sa.worker`` (same flags)."""
+    from repro.sa.worker import main as worker_main
+
+    argv = ["--connect", args.connect]
+    if args.fault_plan:
+        argv += ["--fault-plan", args.fault_plan]
+    return worker_main(argv)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -257,9 +278,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "wall-clock changes)")
     advise.add_argument("--backend", default=None,
                         help="portfolio execution backend: serial, "
-                        "process, thread or queue (default: serial for "
-                        "one worker slot, process otherwise; results "
-                        "are identical whatever the backend)")
+                        "process, thread, queue or socket (default: "
+                        "serial for one worker slot, process otherwise; "
+                        "results are identical whatever the backend — "
+                        "socket drives spawned "
+                        "'python -m repro.sa.worker' processes over "
+                        "loopback TCP with heartbeat liveness and "
+                        "bounded retries)")
+    advise.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --backend socket "
+                        "(default: the --jobs slots; 0 = degraded "
+                        "in-driver mode; results identical either way)")
     advise.add_argument("--prune", action="store_true",
                         help="early-prune portfolio restarts the shared "
                         "incumbent proves unable to beat the best found "
@@ -285,6 +314,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("targets", nargs="+", choices=list(TABLE_FUNCTIONS))
     bench.add_argument("--profile", choices=("quick", "paper"), default=None)
     bench.set_defaults(func=_cmd_bench)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run as a socket-transport restart worker "
+        "(one box of a multi-box portfolio)",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="driver address to dial")
+    worker.add_argument("--fault-plan", default=None, metavar="JSON",
+                        help="JSON FaultPlan for the chaos test suite "
+                        "(worker-side actions only)")
+    worker.set_defaults(func=_cmd_worker)
     return parser
 
 

@@ -47,6 +47,14 @@ class SolverLimitError(SolverError):
     """A solver hit a resource limit before producing any solution."""
 
 
+class TransportError(ReproError):
+    """A socket-transport failure (framing, handshake, or connection)."""
+
+
+class ConnectionClosedError(TransportError):
+    """The peer closed (or abruptly lost) a transport connection."""
+
+
 class ParseError(ReproError):
     """A SQL workload/schema text could not be parsed."""
 

@@ -11,11 +11,14 @@ probability in the first iterations.
 
 ``SaOptions(restarts=N)`` runs a best-of-N multi-start portfolio
 (:mod:`repro.sa.portfolio`) over a pluggable execution backend
-(:mod:`repro.sa.backends`: serial, process pool, or a JSON task
-queue), deterministic per master seed whatever runs where.  Library
-callers normally reach all of this through :func:`repro.api.advise`
-with strategy ``"sa"`` / ``"sa-portfolio"``; :func:`solve_sa` remains
-as a thin shim over that entry point.
+(:mod:`repro.sa.backends`: serial, process pool, a JSON task queue, or
+the fault-tolerant multi-box socket transport of
+:mod:`repro.sa.transport` with its remote ``python -m repro.sa.worker``
+processes), deterministic per master seed whatever runs where — and,
+for the queue/socket backends, whatever faults the transport suffers.
+Library callers normally reach all of this through
+:func:`repro.api.advise` with strategy ``"sa"`` / ``"sa-portfolio"``;
+:func:`solve_sa` remains as a thin shim over that entry point.
 """
 
 from repro.sa.options import SaOptions

@@ -15,7 +15,12 @@ under a name selectable via ``SaOptions(backend=...)``:
 * ``"queue"`` — restarts serialised as JSON task envelopes (built on
   ``SolveRequest``'s round-trip format) and served by a worker loop:
   the wire format for moving the portfolio beyond one box, driven
-  in-process here so it is fully testable locally.
+  in-process here so it is fully testable locally;
+* ``"socket"`` — those same envelopes over length-prefixed JSON frames
+  on loopback TCP to spawned ``python -m repro.sa.worker`` processes,
+  with heartbeat liveness monitoring, bounded deterministic retries and
+  graceful degradation to in-driver execution
+  (:mod:`repro.sa.transport`).
 
 All backends share one :class:`~repro.sa.backends.incumbent.SharedIncumbent`
 per portfolio run (best objective + a provable lower bound) and, with
@@ -55,10 +60,19 @@ from repro.sa.backends.queue import (
 )
 from repro.sa.backends.serial import SerialBackend
 
+def _socket_backend_factory():
+    # Imported lazily: the transport package imports this module (for
+    # the envelope codec), so a top-level import would be circular.
+    from repro.sa.transport.socket_backend import SocketTransportBackend
+
+    return SocketTransportBackend()
+
+
 register_backend(SerialBackend.name, SerialBackend)
 register_backend("process", ProcessPoolBackend)
 register_backend("thread", lambda: ProcessPoolBackend(use_threads=True))
 register_backend(QueueBackend.name, QueueBackend)
+register_backend("socket", _socket_backend_factory)
 
 __all__ = [
     "BackendRun",

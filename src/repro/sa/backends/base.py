@@ -122,6 +122,15 @@ class BackendRun:
     pruned: int = 0
     #: Executor label for result metadata ("serial", "process", ...).
     kind: str = "serial"
+    #: Distinct restarts that needed at least one retry (fault-tolerant
+    #: backends only; always 0 for serial/process).
+    retried_restarts: int = 0
+    #: Total restart requeues — failed or lost attempts that were
+    #: re-dispatched (bounded per restart by ``max_retries``).
+    requeue_count: int = 0
+    #: Worker failures observed: faulted task runs, dead connections,
+    #: stalled heartbeats.
+    worker_failures: int = 0
 
 
 @runtime_checkable
@@ -142,15 +151,45 @@ class ExecutionBackend(Protocol):
         ...
 
 
+#: Knobs that configure the *portfolio* or its transport, not a single
+#: anneal — reset to their defaults by :func:`restart_options` so a task
+#: envelope is a pure function of the anneal-relevant options (two
+#: portfolios that differ only in retry/heartbeat tuning dispatch
+#: byte-identical task envelopes).
+_PORTFOLIO_LEVEL_FIELDS = (
+    "restarts",
+    "jobs",
+    "portfolio_time_limit",
+    "backend",
+    "prune",
+    "workers",
+    "max_retries",
+    "heartbeat_interval",
+    "heartbeat_timeout",
+    "backoff_base",
+)
+
+
+def _portfolio_level_defaults() -> dict:
+    from dataclasses import fields
+
+    return {
+        f.name: f.default
+        for f in fields(SaOptions)
+        if f.name in _PORTFOLIO_LEVEL_FIELDS
+    }
+
+
 def restart_options(
     options: SaOptions, seed: int | None, remaining: float | None
 ) -> SaOptions:
     """Single-run options for one restart under the portfolio budget.
 
     Strips every portfolio-level knob (``restarts``, ``jobs``,
-    ``portfolio_time_limit``, ``backend``, ``prune``) so the task is a
-    plain single anneal, and folds the remaining portfolio budget into
-    the per-run ``time_limit``.
+    ``portfolio_time_limit``, ``backend``, ``prune``, and the transport
+    tuning — ``workers``, ``max_retries``, heartbeat/backoff settings)
+    so the task is a plain single anneal, and folds the remaining
+    portfolio budget into the per-run ``time_limit``.
     """
     time_limit = options.time_limit
     if remaining is not None:
@@ -159,12 +198,8 @@ def restart_options(
     return replace(
         options,
         seed=seed,
-        restarts=1,
-        jobs=1,
-        portfolio_time_limit=None,
         time_limit=time_limit,
-        backend=None,
-        prune=False,
+        **_portfolio_level_defaults(),
     )
 
 

@@ -18,6 +18,7 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 
 from repro.costmodel.coefficients import CostCoefficients
+from repro.exceptions import SolverError
 from repro.sa.backends.base import BackendRun, PortfolioPlan, RestartOutcome, run_restart
 from repro.sa.options import SaOptions
 
@@ -107,7 +108,20 @@ class ProcessPoolBackend:
                     timeout = plan.remaining()
                 done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
                 for future in done:
-                    outcome = future.result()
+                    try:
+                        outcome = future.result()
+                    except Exception as error:
+                        # A worker process that dies mid-restart (OOM
+                        # kill, segfault, os._exit) breaks the whole
+                        # pool; unlike the queue/socket backends there
+                        # is no envelope to requeue, so fail loudly with
+                        # the restart index instead of returning a
+                        # silently incomplete best-of-N.
+                        raise SolverError(
+                            f"{kind} pool worker failed restart "
+                            f"{futures[future]}: "
+                            f"{type(error).__name__}: {error}"
+                        ) from error
                     plan.publish(outcome)
                     run.outcomes.append(outcome)
                 if plan.prune:

@@ -43,7 +43,7 @@ from typing import Any
 import numpy as np
 
 from repro.costmodel.coefficients import CostCoefficients, build_coefficients
-from repro.exceptions import OptionsError, SolverError
+from repro.exceptions import OptionsError
 from repro.sa.backends.base import (
     BackendRun,
     PortfolioPlan,
@@ -51,10 +51,16 @@ from repro.sa.backends.base import (
     RestartTask,
     restart_options,
 )
+from repro.sa.backends.retry import RetryTracker, validate_max_retries
 from repro.sa.options import SaOptions
 
-#: Version stamp of both envelope documents.
-ENVELOPE_FORMAT_VERSION = 1
+#: Version stamp of both envelope documents.  Version 2 extended the
+#: task envelope's options with the transport tuning fields added for
+#: the socket backend (``workers``, ``max_retries``, heartbeat/backoff
+#: knobs) — reset to defaults by ``restart_options``, but present in
+#: the document, so a version-1 reader would reject the constructor
+#: keywords.  The socket transport negotiates this version at connect.
+ENVELOPE_FORMAT_VERSION = 2
 TASK_KIND = "sa-restart"
 RESULT_KIND = "sa-restart-result"
 
@@ -271,18 +277,32 @@ class QueueBackend:
 
     name = "queue"
 
-    def __init__(self, worker: QueueWorker | None = None, max_retries: int = 2):
+    def __init__(
+        self, worker: QueueWorker | None = None, max_retries: int | None = None
+    ):
         self.worker = worker or QueueWorker()
-        self.max_retries = max_retries
+        # Validated eagerly: a negative budget is a misconfiguration,
+        # not "never retry" (that is what 0 means).
+        self.max_retries = (
+            None if max_retries is None else validate_max_retries(max_retries)
+        )
         #: Per-restart *failed* attempt counts of the last run (for
         #: tests/metrics); fault-free restarts never appear here.
         self.failures: dict[int, int] = {}
 
     def run(self, plan: PortfolioPlan) -> BackendRun:
         _check_wire_safe(plan.coefficients)
+        max_retries = (
+            plan.options.max_retries
+            if self.max_retries is None
+            else self.max_retries
+        )
+        # No backoff for the in-process loop: there is no remote worker
+        # to give breathing room to, and sleeping would only slow tests.
+        tracker = RetryTracker(max_retries, label="queue worker")
+        self.failures = tracker.failures
         run = BackendRun(outcomes=[], kind=self.name)
         queue: deque[RestartTask] = deque(plan.tasks())
-        self.failures = {}
         while queue:
             task = queue.popleft()
             if task.restart > 0 and plan.expired():
@@ -291,7 +311,6 @@ class QueueBackend:
             if plan.should_prune(task.restart):
                 run.pruned += 1
                 continue
-            failed = self.failures.get(task.restart, 0)
             envelope = encode_restart_task(
                 plan.coefficients,
                 plan.num_sites,
@@ -303,13 +322,8 @@ class QueueBackend:
             try:
                 result = self.worker.run(envelope)
             except Exception as error:
-                self.failures[task.restart] = failed + 1
-                if failed + 1 > self.max_retries:
-                    raise SolverError(
-                        f"queue worker failed restart {task.restart} "
-                        f"{failed + 1} times (max_retries={self.max_retries}): "
-                        f"{type(error).__name__}: {error}"
-                    ) from error
+                # Raises SolverError once the restart's budget is spent.
+                tracker.record_failure(task.restart, task.seed, error)
                 queue.append(task)
                 continue
             outcome = decode_restart_result(
@@ -318,4 +332,7 @@ class QueueBackend:
             plan.publish(outcome)
             run.outcomes.append(outcome)
         run.outcomes.sort(key=lambda outcome: outcome.restart)
+        run.retried_restarts = tracker.retried_restarts
+        run.requeue_count = tracker.requeues
+        run.worker_failures = tracker.total_failures
         return run

@@ -80,6 +80,28 @@ class SaOptions:
     #: reached the objective's lower bound with an earlier index).
     #: Pruning only skips work — it never changes the returned best.
     prune: bool = False
+    #: Worker processes the ``"socket"`` transport backend spawns
+    #: (``None`` = one per usable job slot).  ``0`` is legal and runs
+    #: the whole portfolio through the transport's in-driver degraded
+    #: mode — the same code path a drained worker pool falls back to.
+    workers: int | None = None
+    #: Failed attempts allowed *per restart* on the fault-tolerant
+    #: backends ("queue", "socket") before the portfolio fails with
+    #: :class:`~repro.exceptions.SolverError`; a lost restart would
+    #: silently change the best-of-N result, which the determinism
+    #: contract forbids.
+    max_retries: int = 2
+    #: Seconds between worker heartbeats on the socket transport.
+    heartbeat_interval: float = 0.5
+    #: Seconds of worker silence after which the transport's liveness
+    #: monitor declares the worker dead and requeues its in-flight
+    #: restart.  Must exceed ``heartbeat_interval``.
+    heartbeat_timeout: float = 5.0
+    #: Base of the exponential retry backoff in seconds: attempt ``k``
+    #: of a restart waits ``~ backoff_base * 2**(k-1)`` scaled by a
+    #: deterministic jitter derived from the restart seed.  ``0``
+    #: disables backoff (the in-process queue backend's setting).
+    backoff_base: float = 0.05
 
     def __post_init__(self) -> None:
         self.validate()
@@ -119,6 +141,28 @@ class SaOptions:
             raise OptionsError(
                 f"portfolio_time_limit must be positive seconds, got "
                 f"{self.portfolio_time_limit}"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise OptionsError(f"workers must be >= 0, got {self.workers}")
+        if self.max_retries < 0:
+            raise OptionsError(
+                f"max_retries must be >= 0, got {self.max_retries} "
+                f"(0 means failed restarts are never retried)"
+            )
+        if self.heartbeat_interval <= 0:
+            raise OptionsError(
+                f"heartbeat_interval must be positive seconds, got "
+                f"{self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise OptionsError(
+                f"heartbeat_timeout ({self.heartbeat_timeout}) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval}) or every "
+                f"worker looks stalled"
+            )
+        if self.backoff_base < 0:
+            raise OptionsError(
+                f"backoff_base must be >= 0 seconds, got {self.backoff_base}"
             )
         if self.backend is not None:
             # Imported lazily: the backends package imports this module.

@@ -70,6 +70,15 @@ class PortfolioResult:
     #: Restarts skipped because the shared incumbent proved they cannot
     #: beat the best already found (``SaOptions(prune=True)`` only).
     pruned: int = 0
+    #: Distinct restarts that needed at least one retry (fault-tolerant
+    #: backends only — queue/socket; always 0 for serial/process).
+    retried_restarts: int = 0
+    #: Total restart requeues: failed or lost attempts re-dispatched,
+    #: bounded per restart by ``max_retries``.
+    requeue_count: int = 0
+    #: Worker failures observed: faulted task runs, dead connections,
+    #: stalled heartbeats.
+    worker_failures: int = 0
 
     @property
     def restart_seeds(self) -> list[int | None]:
@@ -195,4 +204,7 @@ def run_portfolio(
         outcomes=outcomes,
         cancelled=cancelled,
         pruned=run.pruned,
+        retried_restarts=run.retried_restarts,
+        requeue_count=run.requeue_count,
+        worker_failures=run.worker_failures,
     )

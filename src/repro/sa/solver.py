@@ -116,6 +116,9 @@ class SaPartitioner:
                 "restart_objectives": portfolio.restart_objectives,
                 "cancelled_restarts": portfolio.cancelled,
                 "pruned_restarts": portfolio.pruned,
+                "retried_restarts": portfolio.retried_restarts,
+                "requeue_count": portfolio.requeue_count,
+                "worker_failures": portfolio.worker_failures,
             },
         )
 

@@ -14,6 +14,14 @@ from repro.model.schema import SchemaBuilder
 from repro.model.workload import Query, Transaction, Workload
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "chaos: deterministic fault-injection suite for the socket "
+        "transport (run on its own in CI via `pytest -m chaos`)",
+    )
+
+
 @pytest.fixture
 def tiny_instance() -> ProblemInstance:
     """Two tables, two transactions — small enough to reason about by hand.

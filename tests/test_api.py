@@ -692,8 +692,8 @@ class TestCliRequestMapping:
         defaults = dict(
             solver="sa", sites=2, penalty=8.0, load_balance=0.1,
             disjoint=False, time_limit=None, seed=None, restarts=None,
-            jobs=None, backend=None, prune=False, compress="off",
-            compress_tolerance=None,
+            jobs=None, backend=None, workers=None, prune=False,
+            compress="off", compress_tolerance=None,
         )
         defaults.update(overrides)
         return argparse.Namespace(**defaults)

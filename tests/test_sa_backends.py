@@ -8,6 +8,7 @@ and pruning only ever skips restarts that cannot win.
 
 import json
 import math
+import os
 
 import numpy as np
 import pytest
@@ -39,6 +40,7 @@ from repro.sa.backends import (
     register_backend,
 )
 from repro.sa.backends.base import RestartTask, _BACKENDS
+from repro.sa.backends.queue import ENVELOPE_FORMAT_VERSION
 from repro.sa.options import SaOptions
 from repro.sa.portfolio import derive_restart_seeds, run_portfolio
 from repro.sa.solver import SaPartitioner
@@ -84,7 +86,9 @@ def read_only_instance() -> ProblemInstance:
 # ----------------------------------------------------------------------
 class TestBackendRegistry:
     def test_builtins_registered(self):
-        assert {"serial", "process", "thread", "queue"} <= set(backend_names())
+        assert {
+            "serial", "process", "thread", "queue", "socket"
+        } <= set(backend_names())
 
     def test_get_backend_unknown_raises(self):
         with pytest.raises(OptionsError, match="unknown execution backend"):
@@ -323,7 +327,7 @@ class TestQueueEnvelopes:
         payload["format_version"] = 99
         with pytest.raises(OptionsError, match="format_version"):
             decode_restart_task(json.dumps(payload))
-        payload["format_version"] = 1
+        payload["format_version"] = ENVELOPE_FORMAT_VERSION
         payload["kind"] = "sa-restart-result"
         with pytest.raises(OptionsError, match="kind"):
             decode_restart_task(json.dumps(payload))
@@ -385,6 +389,70 @@ class TestQueueFaults:
                 coefficients, 3,
                 SaOptions(seed=11, restarts=2, **FAST),
                 backend=backend,
+            )
+
+    def test_negative_max_retries_rejected_at_construction(self):
+        """A negative budget is a misconfiguration, not 'never retry' —
+        it fails eagerly, before any solve starts."""
+        with pytest.raises(OptionsError, match="max_retries"):
+            QueueBackend(max_retries=-1)
+        with pytest.raises(OptionsError, match="max_retries"):
+            SaOptions(max_retries=-1)
+        # 0 is legal and means: failed restarts are never retried.
+        assert QueueBackend(max_retries=0).max_retries == 0
+
+
+# ----------------------------------------------------------------------
+# Pool worker death
+# ----------------------------------------------------------------------
+class TestPoolWorkerDeath:
+    """A pool worker dying mid-restart must fail the solve loudly,
+    naming the restart — there is no envelope to requeue, and a silently
+    incomplete best-of-N would change the result."""
+
+    def test_process_pool_worker_death_names_the_restart(
+        self, coefficients, monkeypatch
+    ):
+        import multiprocessing
+
+        from repro.sa.backends import pool
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("death injection relies on fork inheriting the patch")
+
+        real_run_restart = pool.run_restart
+
+        def dying(coeffs, num_sites, options, restart, seed, deadline):
+            if restart == 1:
+                os._exit(13)  # abrupt death: no exception, no cleanup
+            return real_run_restart(
+                coeffs, num_sites, options, restart, seed, deadline
+            )
+
+        monkeypatch.setattr(pool, "run_restart", dying)
+        with pytest.raises(
+            SolverError, match=r"process pool worker failed restart \d+"
+        ):
+            run_portfolio(
+                coefficients, 3,
+                SaOptions(seed=11, restarts=2, jobs=1, backend="process", **FAST),
+            )
+
+    def test_thread_pool_worker_failure_names_the_restart(
+        self, coefficients, monkeypatch
+    ):
+        from repro.sa.backends import pool
+
+        def raising(coeffs, num_sites, options, restart, seed, deadline):
+            raise RuntimeError(f"injected death on restart {restart}")
+
+        monkeypatch.setattr(pool, "run_restart", raising)
+        with pytest.raises(
+            SolverError, match="thread pool worker failed restart"
+        ):
+            run_portfolio(
+                coefficients, 3,
+                SaOptions(seed=11, restarts=2, jobs=2, backend="thread", **FAST),
             )
 
 
