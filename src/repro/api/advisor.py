@@ -16,10 +16,29 @@ derives per-request seeds from one master seed; SA-family stages can fan
 their restart portfolios out over the existing process pool via
 ``jobs`` without changing any result (the portfolio incumbent does not
 depend on completion order).
+
+Threading model
+---------------
+
+One :class:`Advisor` may be shared across threads — the asyncio service
+front end (:mod:`repro.service`) does exactly that, admitting requests
+on the event loop while solves run on a worker thread.  The shared
+caches (:class:`~repro.costmodel.coefficients.CoefficientCache`,
+:class:`~repro.qp.linearize.LinearizationCache`, and the advisor's own
+per-instance LRU) are plain Python structures with no concurrency story
+of their own, so the advisor serialises: every :meth:`advise` call runs
+under one internal re-entrant lock, as do :meth:`coefficient_cache` and
+:meth:`cache_stats`.  Concurrent callers therefore never corrupt a
+cache — they queue.  Serialisation is also what keeps the per-request
+``cache_stats`` deltas in :class:`~repro.api.report.SolveReport`
+attributable: the counters move only for the request holding the lock.
+(The lock is re-entrant because the compression pipeline and the
+``qp-heavy`` strategy re-enter ``advise`` from inside a serve.)
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Any, Iterable, Sequence
@@ -60,6 +79,11 @@ class Advisor:
         Number of distinct instances whose coefficient caches the
         advisor retains (LRU eviction beyond it), bounding memory for
         long-lived advisors that see many instances.
+    coefficient_capacity:
+        Per-instance bound on memoised coefficient *parameter points*
+        (each :class:`~repro.costmodel.coefficients.CoefficientCache`
+        gets this LRU capacity; ``None`` keeps them unbounded).  Set it
+        for week-long deployments sweeping many parameter settings.
     """
 
     #: Default number of per-instance coefficient caches retained.
@@ -71,6 +95,7 @@ class Advisor:
         *,
         linearization_capacity: int = DEFAULT_CACHE_CAPACITY,
         instance_cache_capacity: int = DEFAULT_INSTANCE_CAPACITY,
+        coefficient_capacity: int | None = None,
     ):
         if instance_cache_capacity < 1:
             raise OptionsError(
@@ -82,6 +107,7 @@ class Advisor:
             capacity=linearization_capacity
         )
         self.instance_cache_capacity = instance_cache_capacity
+        self.coefficient_capacity = coefficient_capacity
         # Keyed by instance identity; the instance reference is kept so
         # a garbage-collected id() can never alias a live entry.
         self._coefficient_caches: OrderedDict[
@@ -91,24 +117,39 @@ class Advisor:
         # per-request deltas derived from it) never run backwards.
         self._evicted_hits = 0
         self._evicted_misses = 0
+        self._evicted_evictions = 0
         self.requests_served = 0
+        # Serialises concurrent use — see "Threading model" above.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # caches
     # ------------------------------------------------------------------
     def coefficient_cache(self, instance: ProblemInstance) -> CoefficientCache:
         """The advisor's (memoised) coefficient cache for ``instance``."""
-        entry = self._coefficient_caches.get(id(instance))
-        if entry is None or entry[0] is not instance:
-            entry = (instance, CoefficientCache(instance))
-            self._coefficient_caches[id(instance)] = entry
-            while len(self._coefficient_caches) > self.instance_cache_capacity:
-                _, (_, evicted) = self._coefficient_caches.popitem(last=False)
-                self._evicted_hits += evicted.hits
-                self._evicted_misses += evicted.misses
-        else:
-            self._coefficient_caches.move_to_end(id(instance))
-        return entry[1]
+        with self._lock:
+            entry = self._coefficient_caches.get(id(instance))
+            if entry is None or entry[0] is not instance:
+                entry = (
+                    instance,
+                    CoefficientCache(
+                        instance, capacity=self.coefficient_capacity
+                    ),
+                )
+                self._coefficient_caches[id(instance)] = entry
+                while (
+                    len(self._coefficient_caches)
+                    > self.instance_cache_capacity
+                ):
+                    _, (_, evicted) = self._coefficient_caches.popitem(
+                        last=False
+                    )
+                    self._evicted_hits += evicted.hits
+                    self._evicted_misses += evicted.misses
+                    self._evicted_evictions += evicted.evictions
+            else:
+                self._coefficient_caches.move_to_end(id(instance))
+            return entry[1]
 
     def coefficients_for(self, request: SolveRequest) -> CostCoefficients:
         """Coefficients for a request (shared across equal parameters)."""
@@ -118,18 +159,21 @@ class Advisor:
 
     def cache_stats(self) -> dict[str, int]:
         """Cumulative cache counters across every request served."""
-        coefficient_hits = self._evicted_hits + sum(
-            cache.hits for _, cache in self._coefficient_caches.values()
-        )
-        coefficient_misses = self._evicted_misses + sum(
-            cache.misses for _, cache in self._coefficient_caches.values()
-        )
-        return {
-            "coefficient_hits": coefficient_hits,
-            "coefficient_misses": coefficient_misses,
-            "linearization_hits": self.linearization_cache.hits,
-            "linearization_misses": self.linearization_cache.misses,
-        }
+        with self._lock:
+            caches = [
+                cache for _, cache in self._coefficient_caches.values()
+            ]
+            return {
+                "coefficient_hits": self._evicted_hits
+                + sum(cache.hits for cache in caches),
+                "coefficient_misses": self._evicted_misses
+                + sum(cache.misses for cache in caches),
+                "coefficient_evictions": self._evicted_evictions
+                + sum(cache.evictions for cache in caches),
+                "linearization_hits": self.linearization_cache.hits,
+                "linearization_misses": self.linearization_cache.misses,
+                "linearization_evictions": self.linearization_cache.evictions,
+            }
 
     # ------------------------------------------------------------------
     # serving
@@ -153,7 +197,19 @@ class Advisor:
         strategy chain runs on the compressed view and the report holds
         the lifted partitioning with its objective re-evaluated on the
         original instance.
+
+        Thread-safe: concurrent calls serialise on the advisor's
+        internal lock (see the module's "Threading model" section).
         """
+        with self._lock:
+            return self._advise_locked(request, warm_start=warm_start)
+
+    def _advise_locked(
+        self,
+        request: SolveRequest,
+        *,
+        warm_start: PartitioningResult | None = None,
+    ) -> SolveReport:
         if request.compression != "off":
             from repro.api.strategies import solve_with_compression
 

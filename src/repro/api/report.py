@@ -32,9 +32,10 @@ class SolveReport:
         (all chained stages included).
     cache_stats:
         Advisor cache activity attributable to this request:
-        ``coefficient_hits`` / ``coefficient_misses`` (shared
-        indicator/weight products) and ``linearization_hits`` /
-        ``linearization_misses`` (re-priced MIP skeletons).
+        ``coefficient_hits`` / ``coefficient_misses`` /
+        ``coefficient_evictions`` (shared indicator/weight products)
+        and ``linearization_hits`` / ``linearization_misses`` /
+        ``linearization_evictions`` (re-priced MIP skeletons).
     stage_results:
         Results of earlier stages of a chained strategy (empty when the
         chain has one stage); ``result`` is always the final stage's.
@@ -70,6 +71,18 @@ class SolveReport:
     @property
     def metadata(self) -> dict[str, Any]:
         return self.result.metadata
+
+    @property
+    def degraded_from(self) -> str | None:
+        """The strategy the request *asked* for, when the advisor
+        service's load-shedding policy served a cheaper one instead
+        (``None`` for an undegraded solve).  A degraded report is still
+        a fully valid answer — ``strategy`` names what actually ran and
+        ``result`` is that strategy's exact output — the shed only
+        shows up as this provenance marker.
+        """
+        value = self.result.metadata.get("degraded_from")
+        return None if value is None else str(value)
 
     @property
     def resilience(self) -> dict[str, int]:

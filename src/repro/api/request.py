@@ -14,6 +14,7 @@ re-encode to the same request.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
@@ -214,3 +215,30 @@ class SolveRequest:
     @classmethod
     def from_json(cls, text: str) -> "SolveRequest":
         return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Canonical form (the service's coalescing / result-cache key)
+    # ------------------------------------------------------------------
+    def canonical_json(self) -> str:
+        """The canonical JSON spelling of this request.
+
+        Sorted keys and compact separators make equal requests equal
+        *strings* regardless of construction order — two requests with
+        the same canonical JSON describe the same solve bit for bit
+        (same instance, parameters, strategy, options, seed and
+        budget).  This is what the advisor service coalesces and caches
+        on.  Options must hold JSON-compatible values (already required
+        by :meth:`to_json`).
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def canonical_key(self) -> str:
+        """A compact digest of :meth:`canonical_json` (hex SHA-256).
+
+        Collision-safe for use as a dictionary key: requests over large
+        instances serialise to megabytes, and the service keeps one key
+        per in-flight and per cached solve.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()

@@ -6,7 +6,14 @@ import sys
 import time
 from typing import Callable
 
-from repro.bench import ablations, advisor_batch, compression, tables, transport
+from repro.bench import (
+    ablations,
+    advisor_batch,
+    compression,
+    service,
+    tables,
+    transport,
+)
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.formatting import BenchTable, render_table
 from repro.exceptions import ReproError
@@ -26,6 +33,7 @@ TABLE_FUNCTIONS: dict[str, Callable[[BenchProfile | None], BenchTable]] = {
     "ablation_baselines": ablations.ablation_baselines,
     "advisor_batch": advisor_batch.advisor_batch,
     "compression": compression.compression,
+    "service": service.service,
     "transport": transport.transport,
 }
 

@@ -11,7 +11,11 @@ Installed as ``repro-partition`` (also ``python -m repro``):
   — partition a user-supplied SQL workload,
 * ``repro-partition bench table3`` — regenerate a paper table,
 * ``repro-partition worker --connect HOST:PORT`` — serve as a remote
-  restart worker for an advisor running ``--backend socket``.
+  restart worker for an advisor running ``--backend socket``,
+* ``repro-partition serve`` — run the async advisor service
+  (coalescing, admission control, load shedding) on loopback TCP,
+* ``repro-partition request --connect HOST:PORT ...`` — solve one
+  request against a running service (same solve flags as ``advise``).
 
 Every solve is served through :func:`repro.api.advise`, the same
 entry point the benchmarks, sweeps and library callers use.
@@ -144,25 +148,23 @@ def _advise_request(
     )
 
 
-def _cmd_advise(args: argparse.Namespace) -> int:
-    instance = _load_instance(args)
-    parameters = CostParameters(
+def _solve_parameters(args: argparse.Namespace) -> CostParameters:
+    return CostParameters(
         network_penalty=args.penalty,
         # The flag is the load-balance *priority*; the model's lambda
         # weights cost (see DESIGN.md on the paper's inverted notation).
         load_balance_lambda=1.0 - args.load_balance,
     )
-    advisor = Advisor()
-    coefficients = advisor.coefficient_cache(instance).coefficients(parameters)
-    baseline = single_site_partitioning(coefficients)
-    # No implicit SA budget: without an explicit --time-limit every
-    # restart runs to completion, keeping fixed-seed runs deterministic;
-    # with one, it bounds the whole solve (QP limit defaults to 60s).
-    report = advisor.advise(_advise_request(args, instance, parameters))
+
+
+def _print_report(args: argparse.Namespace, instance, report, baseline) -> None:
     result = report.result
     reduction = 100.0 * (1.0 - result.objective / baseline.objective)
     print(f"instance      : {instance.name}")
     print(f"solver        : {result.solver} ({result.wall_time:.2f}s)")
+    if report.degraded_from is not None:
+        print(f"shedding      : degraded from {report.degraded_from} "
+              f"(service was under queue pressure)")
     if report.strategy != args.solver:
         print(f"strategy      : {args.solver} -> resolved {report.strategy}")
     if result.metadata.get("restarts", 1) > 1:
@@ -201,6 +203,57 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     if args.layout:
         print()
         print(render_layout(result))
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    parameters = _solve_parameters(args)
+    advisor = Advisor()
+    coefficients = advisor.coefficient_cache(instance).coefficients(parameters)
+    baseline = single_site_partitioning(coefficients)
+    # No implicit SA budget: without an explicit --time-limit every
+    # restart runs to completion, keeping fixed-seed runs deterministic;
+    # with one, it bounds the whole solve (QP limit defaults to 60s).
+    report = advisor.advise(_advise_request(args, instance, parameters))
+    _print_report(args, instance, report, baseline)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Delegate to ``python -m repro.service`` (same flags)."""
+    from repro.service.__main__ import main as service_main
+
+    argv = ["--host", args.host, "--port", str(args.port),
+            "--max-pending", str(args.max_pending),
+            "--rate", str(args.rate), "--burst", str(args.burst),
+            "--result-cache", str(args.result_cache),
+            "--shed-threshold", str(args.shed_threshold),
+            "--shed-hard-threshold", str(args.shed_hard_threshold)]
+    if args.coefficient_cache is not None:
+        argv += ["--coefficient-cache", str(args.coefficient_cache)]
+    if args.shed_sa_options:
+        argv += ["--shed-sa-options", args.shed_sa_options]
+    return service_main(argv)
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    """Solve one request against a running advisor service."""
+    from repro.service.client import ServiceClient
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(
+            f"--connect takes HOST:PORT, got {args.connect!r}"
+        )
+    instance = _load_instance(args)
+    parameters = _solve_parameters(args)
+    request = _advise_request(args, instance, parameters)
+    with ServiceClient(host, int(port), client=args.client) as service:
+        report = service.advise(request)
+    # The client-side report carries canonically rebuilt coefficients;
+    # the baseline comes from those, exactly as advise computes it.
+    baseline = single_site_partitioning(report.result.coefficients)
+    _print_report(args, instance, report, baseline)
     return 0
 
 
@@ -243,71 +296,73 @@ def build_parser() -> argparse.ArgumentParser:
     add_instance_args(info)
     info.set_defaults(func=_cmd_info)
 
+    def add_solve_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--sites", type=int, default=2)
+        sub.add_argument("--solver", default="sa",
+                            help="registered strategy: qp, sa, sa-portfolio, "
+                            "auto (model-size cutoff picks qp or sa), greedy, "
+                            "affinity, hillclimb, round-robin — or a chain "
+                            "like 'sa-portfolio->qp' where each stage "
+                            "warm-starts the next (default: sa)")
+        sub.add_argument("--penalty", type=float, default=8.0,
+                            help="network penalty p (0 = local placement)")
+        sub.add_argument("--load-balance", type=float, default=0.1,
+                            help="load-balance priority in [0,1]: 0 = pure "
+                            "cost minimisation, 1 = pure max-load balancing "
+                            "(the paper's Section-5 setting is 0.1)")
+        sub.add_argument("--disjoint", action="store_true",
+                            help="forbid attribute replication")
+        sub.add_argument("--time-limit", type=float, default=None,
+                            help="wall-clock budget in seconds: caps the QP "
+                            "solve (default 60) or, with --restarts > 1, the "
+                            "whole SA portfolio (default: no budget — "
+                            "truncation would make fixed-seed runs "
+                            "machine-dependent)")
+        sub.add_argument("--seed", type=int, default=None)
+        sub.add_argument("--restarts", type=int, default=None,
+                            help="SA multi-start portfolio size: run N "
+                            "independently seeded anneals and keep the best "
+                            "(deterministic for a fixed --seed; --time-limit "
+                            "bounds the whole portfolio)")
+        sub.add_argument("--jobs", type=int, default=None,
+                            help="worker processes for --restarts > 1 "
+                            "(results are identical for any value, only "
+                            "wall-clock changes)")
+        sub.add_argument("--backend", default=None,
+                            help="portfolio execution backend: serial, "
+                            "process, thread, queue or socket (default: "
+                            "serial for one worker slot, process otherwise; "
+                            "results are identical whatever the backend — "
+                            "socket drives spawned "
+                            "'python -m repro.sa.worker' processes over "
+                            "loopback TCP with heartbeat liveness and "
+                            "bounded retries)")
+        sub.add_argument("--workers", type=int, default=None,
+                            help="worker processes for --backend socket "
+                            "(default: the --jobs slots; 0 = degraded "
+                            "in-driver mode; results identical either way)")
+        sub.add_argument("--prune", action="store_true",
+                            help="early-prune portfolio restarts the shared "
+                            "incumbent proves unable to beat the best found "
+                            "(skips work only — never changes the result)")
+        sub.add_argument("--compress", choices=("off", "lossless", "lossy"),
+                            default="off",
+                            help="compress the workload before solving: "
+                            "lossless merges bit-identical transaction "
+                            "signatures (objective provably unchanged under "
+                            "pure cost minimisation), lossy also merges "
+                            "near-duplicates within --compress-tolerance; "
+                            "the reported objective is always re-evaluated "
+                            "on the original instance")
+        sub.add_argument("--compress-tolerance", type=float, default=None,
+                            help="lossy-tier error budget as a fraction of "
+                            "the single-site cost (requires --compress "
+                            "lossy)")
+        sub.add_argument("--layout", action="store_true",
+                            help="print the full Table-4-style layout")
     advise = subparsers.add_parser("advise", help="compute a partitioning")
     add_instance_args(advise)
-    advise.add_argument("--sites", type=int, default=2)
-    advise.add_argument("--solver", default="sa",
-                        help="registered strategy: qp, sa, sa-portfolio, "
-                        "auto (model-size cutoff picks qp or sa), greedy, "
-                        "affinity, hillclimb, round-robin — or a chain "
-                        "like 'sa-portfolio->qp' where each stage "
-                        "warm-starts the next (default: sa)")
-    advise.add_argument("--penalty", type=float, default=8.0,
-                        help="network penalty p (0 = local placement)")
-    advise.add_argument("--load-balance", type=float, default=0.1,
-                        help="load-balance priority in [0,1]: 0 = pure "
-                        "cost minimisation, 1 = pure max-load balancing "
-                        "(the paper's Section-5 setting is 0.1)")
-    advise.add_argument("--disjoint", action="store_true",
-                        help="forbid attribute replication")
-    advise.add_argument("--time-limit", type=float, default=None,
-                        help="wall-clock budget in seconds: caps the QP "
-                        "solve (default 60) or, with --restarts > 1, the "
-                        "whole SA portfolio (default: no budget — "
-                        "truncation would make fixed-seed runs "
-                        "machine-dependent)")
-    advise.add_argument("--seed", type=int, default=None)
-    advise.add_argument("--restarts", type=int, default=None,
-                        help="SA multi-start portfolio size: run N "
-                        "independently seeded anneals and keep the best "
-                        "(deterministic for a fixed --seed; --time-limit "
-                        "bounds the whole portfolio)")
-    advise.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for --restarts > 1 "
-                        "(results are identical for any value, only "
-                        "wall-clock changes)")
-    advise.add_argument("--backend", default=None,
-                        help="portfolio execution backend: serial, "
-                        "process, thread, queue or socket (default: "
-                        "serial for one worker slot, process otherwise; "
-                        "results are identical whatever the backend — "
-                        "socket drives spawned "
-                        "'python -m repro.sa.worker' processes over "
-                        "loopback TCP with heartbeat liveness and "
-                        "bounded retries)")
-    advise.add_argument("--workers", type=int, default=None,
-                        help="worker processes for --backend socket "
-                        "(default: the --jobs slots; 0 = degraded "
-                        "in-driver mode; results identical either way)")
-    advise.add_argument("--prune", action="store_true",
-                        help="early-prune portfolio restarts the shared "
-                        "incumbent proves unable to beat the best found "
-                        "(skips work only — never changes the result)")
-    advise.add_argument("--compress", choices=("off", "lossless", "lossy"),
-                        default="off",
-                        help="compress the workload before solving: "
-                        "lossless merges bit-identical transaction "
-                        "signatures (objective provably unchanged under "
-                        "pure cost minimisation), lossy also merges "
-                        "near-duplicates within --compress-tolerance; "
-                        "the reported objective is always re-evaluated "
-                        "on the original instance")
-    advise.add_argument("--compress-tolerance", type=float, default=None,
-                        help="lossy-tier error budget as a fraction of "
-                        "the single-site cost (requires --compress "
-                        "lossy)")
-    advise.add_argument("--layout", action="store_true",
-                        help="print the full Table-4-style layout")
+    add_solve_args(advise)
     advise.set_defaults(func=_cmd_advise)
 
     bench = subparsers.add_parser("bench", help="regenerate paper tables")
@@ -326,6 +381,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSON FaultPlan for the chaos test suite "
                         "(worker-side actions only)")
     worker.set_defaults(func=_cmd_worker)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async advisor service (request coalescing, "
+        "admission control, load shedding) on loopback TCP",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to bind (default: 0 = pick a free one; "
+                       "the bound address is printed once listening)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="bounded pending-solve queue depth")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-client requests/second (0 disables)")
+    serve.add_argument("--burst", type=int, default=8,
+                       help="per-client token-bucket burst size")
+    serve.add_argument("--result-cache", type=int, default=128,
+                       help="result-cache capacity (0 disables)")
+    serve.add_argument("--coefficient-cache", type=int, default=None,
+                       help="advisor coefficient-cache capacity "
+                       "(default: unbounded)")
+    serve.add_argument("--shed-threshold", type=int, default=0,
+                       help="queue depth that starts light shedding "
+                       "(qp-family requests served by sa-portfolio; "
+                       "0 disables shedding)")
+    serve.add_argument("--shed-hard-threshold", type=int, default=0,
+                       help="queue depth that starts hard shedding "
+                       "(degradable requests served by greedy)")
+    serve.add_argument("--shed-sa-options", default=None, metavar="JSON",
+                       help="options for shed sa/sa-portfolio runs")
+    serve.set_defaults(func=_cmd_serve)
+
+    request = subparsers.add_parser(
+        "request",
+        help="solve one request against a running advisor service "
+        "(same solve flags as advise)",
+    )
+    request.add_argument("--connect", required=True, metavar="HOST:PORT",
+                         help="service address to dial")
+    request.add_argument("--client", default=None,
+                         help="client id for per-client rate limiting "
+                         "(default: one per connection)")
+    add_instance_args(request)
+    add_solve_args(request)
+    request.set_defaults(func=_cmd_request)
     return parser
 
 

@@ -28,6 +28,7 @@ The ablation write-accounting modes adjust the ``beta * delta`` terms:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -270,21 +271,42 @@ class CoefficientCache:
     for the *same* parameters additionally return the same object, so
     its ``cached_property`` products (``phi_bool``, the write tensors,
     table groups, ...) are also shared across sweep points.
+
+    ``capacity`` bounds the number of per-parameters entries the memo
+    retains (least-recently-used eviction beyond it, counted in
+    :attr:`evictions`), mirroring
+    :class:`~repro.qp.linearize.LinearizationCache`: a week-long
+    advisor service that sees many distinct cost parameters must not
+    grow without bound.  The default ``None`` keeps the historical
+    unbounded behaviour; eviction never changes any returned value —
+    an evicted entry is simply reassembled (bitwise identically) on the
+    next request.
     """
 
     def __init__(
         self,
         instance: ProblemInstance,
         indicators: IndicatorArrays | None = None,
+        capacity: int | None = None,
     ):
+        if capacity is not None and capacity < 1:
+            from repro.exceptions import OptionsError
+
+            raise OptionsError(
+                f"coefficient cache capacity must be >= 1 (or None for "
+                f"unbounded), got {capacity}"
+            )
         self.instance = instance
         self.indicators = indicators or build_indicators(instance)
         self.weights = build_weights(instance, self.indicators)
-        self._memo: dict[CostParameters, CostCoefficients] = {}
+        self.capacity = capacity
+        self._memo: OrderedDict[CostParameters, CostCoefficients] = OrderedDict()
         #: Memo hit/miss counters (every miss still shares the cached
         #: indicators/weights — only the coefficient assembly reruns).
         self.hits = 0
         self.misses = 0
+        #: Entries dropped by the LRU bound (0 while unbounded).
+        self.evictions = 0
 
     def coefficients(self, parameters: CostParameters | None = None) -> CostCoefficients:
         """The coefficients for ``parameters`` (memoised per parameters)."""
@@ -296,6 +318,19 @@ class CoefficientCache:
                 self.instance, parameters, self.indicators, self.weights
             )
             self._memo[parameters] = cached
+            if self.capacity is not None:
+                while len(self._memo) > self.capacity:
+                    self._memo.popitem(last=False)
+                    self.evictions += 1
         else:
             self.hits += 1
+            self._memo.move_to_end(parameters)
         return cached
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/evict counters as one dictionary."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -47,6 +47,21 @@ class SolverLimitError(SolverError):
     """A solver hit a resource limit before producing any solution."""
 
 
+class RejectedError(ReproError):
+    """The advisor service refused to admit a request.
+
+    Admission control answers overload with a *structured* rejection —
+    never a silent drop: ``reason`` is a machine-readable tag
+    (``"queue-full"`` or ``"rate-limited"``) and ``retry_after``, when
+    known, is the seconds a polite client should wait before retrying.
+    """
+
+    def __init__(self, reason: str, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
 class TransportError(ReproError):
     """A socket-transport failure (framing, handshake, or connection)."""
 

@@ -146,6 +146,8 @@ class LinearizationCache:
         self._entries: list[tuple[tuple[int, bool, bool, bool], _SkeletonEntry]] = []
         self.hits = 0
         self.misses = 0
+        #: Skeletons dropped by the LRU bound (stores beyond capacity).
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -180,7 +182,16 @@ class LinearizationCache:
         if self.capacity == 0:
             return
         self._entries.insert(0, (key, entry))
+        self.evictions += max(0, len(self._entries) - self.capacity)
         del self._entries[self.capacity:]
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/evict counters as one dictionary."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 def _objective_terms(

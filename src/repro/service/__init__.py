@@ -1,0 +1,44 @@
+"""Async advisor service: a concurrent front end over one shared
+:class:`~repro.api.Advisor`.
+
+Layers, inside out:
+
+* :class:`AsyncAdvisor` (:mod:`repro.service.core`) — the in-process
+  asyncio facade: request coalescing by canonical key, admission
+  control (bounded queue + per-client token buckets), a bounded LRU
+  result cache and the load-shedding ladder.
+* :class:`AdvisorServer` / :class:`ServerThread`
+  (:mod:`repro.service.server`) — the loopback socket front end, a
+  frame pump over the facade reusing the portfolio transport's frame
+  format with the service's own negotiated envelope kind.
+* :class:`ServiceClient` (:mod:`repro.service.client`) — the blocking
+  client, with pipelined ``advise_many``.
+
+Start a server with ``python -m repro.service`` (or the CLI's
+``serve``), talk to it with the CLI's ``request`` subcommand or a
+:class:`ServiceClient`.
+"""
+
+from repro.exceptions import RejectedError
+from repro.service.config import ServiceConfig
+from repro.service.core import AsyncAdvisor
+from repro.service.client import ServiceClient
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.server import AdvisorServer, ServerThread, serve
+from repro.service.shedding import SheddingPolicy, strategy_rank
+from repro.service.wire import SERVICE_ENVELOPE
+
+__all__ = [
+    "AdvisorServer",
+    "AsyncAdvisor",
+    "RateLimiter",
+    "RejectedError",
+    "SERVICE_ENVELOPE",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "SheddingPolicy",
+    "TokenBucket",
+    "serve",
+    "strategy_rank",
+]

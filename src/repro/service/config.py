@@ -1,0 +1,105 @@
+"""Tuning knobs of the advisor service, validated eagerly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import OptionsError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Admission, caching and shedding knobs of one service instance.
+
+    Attributes
+    ----------
+    max_pending:
+        Bound on the pending-solve queue.  A submit that would push the
+        queue past this limit is answered with a structured
+        ``queue-full`` rejection (:class:`~repro.exceptions.RejectedError`
+        in process, a REJECTED frame on the wire) — never silently
+        dropped.  Coalesced duplicates and result-cache hits do not
+        occupy queue slots.
+    rate_limit:
+        Per-client token-bucket refill rate in requests/second;
+        ``0.0`` (the default) disables rate limiting.
+    rate_burst:
+        Token-bucket capacity: how many requests a client may issue
+        back to back before the refill rate gates it.
+    max_clients:
+        Bound on tracked per-client buckets (least-recently-seen
+        clients are forgotten beyond it — forgetting refills a bucket,
+        it never rejects anyone spuriously).
+    result_cache_capacity:
+        LRU bound on cached finished reports, keyed by the request's
+        canonical JSON.  ``0`` disables result caching.  Only
+        *undegraded* reports are cached: a report produced under load
+        shedding must not be replayed to a later request served under
+        no pressure.
+    shed_threshold:
+        Pending-queue depth at which the load-shedding policy starts
+        degrading expensive strategies one rung
+        (``qp`` family → ``sa-portfolio``).  ``0`` disables shedding.
+    shed_hard_threshold:
+        Depth at which every degradable strategy drops to the floor
+        (``greedy``, or a single ``sa`` run for disjoint requests,
+        which ``greedy`` cannot serve).  Must be >= ``shed_threshold``.
+    shed_sa_options:
+        Extra options merged into a shed request served by the
+        ``sa-portfolio`` rung (e.g. ``{"restarts": 2}`` to cap the
+        degraded portfolio).  Never applied to undegraded requests.
+    """
+
+    max_pending: int = 64
+    rate_limit: float = 0.0
+    rate_burst: int = 8
+    max_clients: int = 1024
+    result_cache_capacity: int = 128
+    shed_threshold: int = 0
+    shed_hard_threshold: int = 0
+    shed_sa_options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise OptionsError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.rate_limit < 0:
+            raise OptionsError(
+                f"rate_limit must be >= 0 requests/second, got "
+                f"{self.rate_limit}"
+            )
+        if self.rate_burst < 1:
+            raise OptionsError(
+                f"rate_burst must be >= 1, got {self.rate_burst}"
+            )
+        if self.max_clients < 1:
+            raise OptionsError(
+                f"max_clients must be >= 1, got {self.max_clients}"
+            )
+        if self.result_cache_capacity < 0:
+            raise OptionsError(
+                f"result_cache_capacity must be >= 0, got "
+                f"{self.result_cache_capacity}"
+            )
+        if self.shed_threshold < 0 or self.shed_hard_threshold < 0:
+            raise OptionsError("shed thresholds must be >= 0")
+        if self.shed_hard_threshold and not self.shed_threshold:
+            raise OptionsError(
+                "shed_hard_threshold requires shed_threshold (the light "
+                "rung precedes the hard one)"
+            )
+        if (
+            self.shed_threshold
+            and self.shed_hard_threshold
+            and self.shed_hard_threshold < self.shed_threshold
+        ):
+            raise OptionsError(
+                f"shed_hard_threshold ({self.shed_hard_threshold}) must "
+                f"be >= shed_threshold ({self.shed_threshold})"
+            )
+
+    @property
+    def shedding_enabled(self) -> bool:
+        return self.shed_threshold > 0

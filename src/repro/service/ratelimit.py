@@ -1,0 +1,84 @@
+"""Per-client token buckets behind the service's admission control.
+
+A classic token bucket: a client's bucket refills at ``rate`` tokens
+per second up to ``burst``, and each admitted request spends one token.
+A client that stays under ``rate`` requests/second is never throttled;
+a burst of up to ``burst`` requests is absorbed; beyond that the
+limiter answers with the seconds until the next token — surfaced to the
+caller as ``retry_after`` on the structured rejection, never as a
+silent drop or a blocking sleep.
+
+The clock is injectable so tests drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+
+class TokenBucket:
+    """One client's bucket: continuous refill, unit spend."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: int, now: float):
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_acquire(self, now: float) -> float:
+        """Spend one token.  Returns ``0.0`` on success, else the
+        seconds until a full token will have refilled."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets per client id, bounded by ``max_clients``.
+
+    The bucket table is itself an LRU: beyond ``max_clients`` the
+    least-recently-seen client's bucket is forgotten.  Forgetting is
+    always in the client's favour (a fresh bucket starts full), so the
+    bound can never reject anyone a bigger table would have admitted.
+    ``rate <= 0`` disables limiting entirely.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self.clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def admit(self, client: str) -> float:
+        """Charge ``client`` one token.  Returns ``0.0`` when admitted,
+        else the recommended retry-after in seconds."""
+        if self.rate <= 0:
+            return 0.0
+        now = self.clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket.try_acquire(now)
+
+    def __len__(self) -> int:
+        return len(self._buckets)

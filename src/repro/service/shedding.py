@@ -1,0 +1,110 @@
+"""Load shedding: degrade the strategy under queue pressure.
+
+The paper's solvers form a natural cost ladder — the exact QP is the
+most expensive, the annealing portfolio is the scalable middle, and the
+greedy baseline is near-free.  Under queue pressure the service walks
+a request *down* that ladder instead of letting it time out:
+
+* **light pressure** (pending depth >= ``shed_threshold``): requests
+  bound for the QP family (``qp``, ``qp-heavy``, ``auto`` and any
+  chain containing one of them) are served by ``sa-portfolio``;
+* **hard pressure** (depth >= ``shed_hard_threshold``): every
+  degradable request drops to the floor — ``greedy``, or a single
+  ``sa`` run when the request forbids replication (``greedy`` cannot
+  produce disjoint partitionings).
+
+Baselines (rank 0) are never degraded — there is nothing cheaper to
+degrade *to* — and neither are unknown user-registered strategies,
+whose cost the policy cannot judge.  A degraded request keeps the
+original's instance, parameters, sites, replication mode, seed and
+budget; the original per-strategy options are dropped (they are keyed
+to the strategy that did not run).  The report records the provenance
+as ``metadata["degraded_from"]`` and answers the client normally: a
+cheaper valid answer now instead of a timeout later.
+
+The decision is a pure function of ``(request, queue depth)``, so a
+pressure trace replays deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.api.request import SolveRequest
+from repro.service.config import ServiceConfig
+
+#: How expensive a strategy is to serve, for shedding purposes only:
+#: 2 = QP family (degradable twice), 1 = SA family (degradable to the
+#: floor), 0 = already cheap or unknown (never degraded).
+STRATEGY_COST_RANK: Mapping[str, int] = {
+    "qp": 2,
+    "qp-heavy": 2,
+    "auto": 2,  # may resolve to qp; assume the expensive branch
+    "sa": 1,
+    "sa-portfolio": 1,
+}
+
+#: Shedding levels.
+LEVEL_NONE = 0
+LEVEL_LIGHT = 1
+LEVEL_HARD = 2
+
+
+def strategy_rank(strategy: str) -> int:
+    """The shedding rank of a (possibly chained) strategy string."""
+    stages = tuple(
+        part.strip() for part in strategy.split("->")
+    )
+    return max((STRATEGY_COST_RANK.get(stage, 0) for stage in stages),
+               default=0)
+
+
+class SheddingPolicy:
+    """Map queue depth to a shedding level and rewrite requests."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+
+    def level(self, depth: int) -> int:
+        """The shedding level for a pending-queue ``depth``."""
+        config = self.config
+        if not config.shedding_enabled:
+            return LEVEL_NONE
+        if config.shed_hard_threshold and depth >= config.shed_hard_threshold:
+            return LEVEL_HARD
+        if depth >= config.shed_threshold:
+            return LEVEL_LIGHT
+        return LEVEL_NONE
+
+    def degrade(
+        self, request: SolveRequest, level: int
+    ) -> tuple[SolveRequest, str | None]:
+        """The request actually served at ``level``.
+
+        Returns ``(request, None)`` unchanged when the level or the
+        strategy's rank does not call for degradation, else a rewritten
+        request plus the original strategy string (what
+        ``degraded_from`` will record).
+        """
+        if level <= LEVEL_NONE:
+            return request, None
+        rank = strategy_rank(request.strategy)
+        target: str | None = None
+        options: dict[str, Any] = {}
+        if level >= LEVEL_HARD and rank >= 1:
+            if request.allow_replication:
+                target = "greedy"
+            else:
+                # greedy cannot produce disjoint layouts; the floor for
+                # a disjoint request is one seeded anneal.
+                target = "sa"
+                options = dict(self.config.shed_sa_options)
+        elif level >= LEVEL_LIGHT and rank >= 2:
+            target = "sa-portfolio"
+            options = dict(self.config.shed_sa_options)
+        if target is None or target == request.strategy:
+            return request, None
+        return (
+            request.with_(strategy=target, options=options),
+            request.strategy,
+        )

@@ -762,7 +762,10 @@ class TestSolveReport:
         assert report.wall_time >= report.result.wall_time
         assert set(report.cache_stats) == {
             "coefficient_hits", "coefficient_misses",
+            "coefficient_evictions",
             "linearization_hits", "linearization_misses",
+            "linearization_evictions",
         }
+        assert report.degraded_from is None
         assert advisor.requests_served == 1
         assert "SolveReport" in repr(report)
