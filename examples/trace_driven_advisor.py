@@ -1,110 +1,164 @@
-"""Trace-driven partitioning: estimate statistics, then re-partition.
+"""Online re-partitioning: watch a deployed layout survive — then lose.
 
-The paper assumes workload statistics are known. This example closes
-the loop: start from the TATP benchmark with guessed statistics, feed
-the advisor a "production trace" whose access skew differs from the
-guess (subscribers hammer GET_ACCESS_DATA, nobody updates locations),
-re-estimate ``f_q`` / ``n_{a,q}`` from the trace, and watch the
-recommended partitioning change.
+The paper partitions from scratch; a production advisor starts from a
+layout that is *already deployed* and must decide whether re-shuffling
+attributes is worth the one-time move cost.  This example closes that
+loop with ``Advisor.readvise`` on a small web-shop workload whose
+optimal layout genuinely depends on the query mix:
+
+1. stream a user-write-heavy trace through a decayed collector,
+   partition under those statistics and deploy the result as the
+   incumbent ``CurrentLayout``,
+2. re-advise while the mix is unchanged — the re-solve cannot beat the
+   incumbent, so the verdict is **stay**,
+3. hit the shop with a flash crowd (order writes explode, user writes
+   die): the decayed statistics forget the old mix within a few
+   half-lives, the incumbent's site loads go badly lopsided, and the
+   verdict flips to **migrate** — the re-solve drags ``Users``/
+   ``Orders`` attributes across sites and the steady-state savings
+   dwarf the move bytes.  Price moving data prohibitively, though, and
+   the migration-aware objective pins the solver to the incumbent:
+   **stay** again.
 
 Run with:  python examples/trace_driven_advisor.py
 """
 
 import numpy as np
 
-from repro import (
-    Advisor,
-    CostParameters,
-    SolveRequest,
-    build_coefficients,
-    single_site_partitioning,
-)
-from repro.instances import tatp_instance
-from repro.stats import QueryEvent, TraceCollector, reestimate_instance
+from repro import Advisor, CostParameters, SolveRequest
+from repro.model.instance import ProblemInstance
+from repro.model.schema import SchemaBuilder
+from repro.model.workload import Query, Transaction, Workload
+from repro.partition import CurrentLayout
+from repro.stats import DecayedTraceCollector, reestimate_from_statistics
+
+#: Steady state: user-profile churn dominates, reports are rare.
+STEADY_MIX = {
+    "UserOps.get": 30,
+    "UserOps.update": 45,
+    "OrderOps.get": 12,
+    "OrderOps.update": 3,
+    "Report.join": 10,
+}
+
+#: Flash crowd: a sale — order traffic explodes, profile churn dies.
+FLASH_MIX = {
+    "UserOps.get": 12,
+    "UserOps.update": 3,
+    "OrderOps.get": 30,
+    "OrderOps.update": 45,
+    "Report.join": 10,
+}
 
 
-def synthesize_trace(instance, rng: np.random.Generator) -> TraceCollector:
-    """A skewed production trace: 70% GetAccessData, 25% reads of the
-    subscriber row, 5% call-forwarding churn; location updates died."""
-    mix = {
-        "GetAccessData.get": 70,
-        "GetSubscriberData.get": 20,
-        "GetNewDestination.join": 5,
-        "InsertCallForwarding.lookup": 2,
-        "InsertCallForwarding.insert": 2,
-        "DeleteCallForwarding.lookup": 1,
-        "DeleteCallForwarding.delete": 1,
-    }
-    collector = TraceCollector()
+def shop_instance() -> ProblemInstance:
+    """Two tables, two writers, one cross-table report.
+
+    ``Report.join`` reads the written columns of *both* tables, so the
+    optimal placement of ``Users.prefs`` / ``Orders.status`` follows
+    whichever writer currently dominates — exactly the kind of layout
+    a frequency drift flips.
+    """
+    schema = (
+        SchemaBuilder("shop")
+        .table("Users", key=8, name=40, prefs=200)
+        .table("Orders", key=8, item=40, status=160)
+        .build()
+    )
+    workload = Workload(
+        [
+            Transaction("UserOps", (
+                Query.read("UserOps.get", ["Users.key", "Users.name"]),
+                Query.write("UserOps.update", ["Users.prefs"], rows=2.0),
+            )),
+            Transaction("OrderOps", (
+                Query.read("OrderOps.get", ["Orders.key", "Orders.item"]),
+                Query.write("OrderOps.update",
+                            ["Orders.status"], rows=2.0),
+            )),
+            Transaction("Report", (
+                Query.read("Report.join",
+                           ["Users.prefs", "Orders.status"], rows=5.0),
+            )),
+        ],
+        name="shop-load",
+    )
+    return ProblemInstance(schema, workload, name="shop")
+
+
+def stream_mix(collector, instance, mix, *, start, events, rng):
+    """Feed ``events`` draws from ``mix`` into the decayed collector."""
     by_name = {query.name: query for query in instance.queries}
-    for name, weight in mix.items():
+    names = list(mix)
+    weights = np.array([mix[name] for name in names], dtype=float)
+    weights /= weights.sum()
+    t = start
+    for name in rng.choice(names, size=events, p=weights):
         query = by_name[name]
-        for _ in range(weight * 10):
-            rows = {
-                table: max(1, int(rng.poisson(query.rows_for(table))))
-                for table in query.tables
-            }
-            collector.record(name, rows)
-    return collector
+        rows = {
+            table: max(1.0, float(rng.poisson(query.rows_for(table))))
+            for table in query.tables
+        }
+        collector.observe(name, rows, at=t)
+        t += 1.0
+    return t
 
 
-def describe(result, baseline, label):
-    reduction = 100 * (1 - result.objective / baseline)
-    print(f"{label:<22} objective {result.objective:>10.0f}  "
-          f"(reduction {reduction:.1f}% vs single site)")
-    for name in ("GetSubscriberData", "GetAccessData", "UpdateLocation"):
-        print(f"   {name:<20} -> site {result.transaction_site(name) + 1}")
+def verdict(report, label):
+    m = report.migration
+    print(f"{label:<30} -> {m.recommendation.upper():7}  "
+          f"stay {m.stay_cost:>7.0f} vs migrate {m.total_cost:>7.0f} "
+          f"(re-solve {m.solve_cost:.0f} + weighted move {m.move_cost:.0f})")
+    return m
 
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    parameters = CostParameters()
-    advisor = Advisor()  # one advisor serves both solves
-    guessed = tatp_instance()
-    baseline = single_site_partitioning(
-        build_coefficients(guessed, parameters)
-    ).objective
+    # Balanced blending: lopsided site loads hurt as much as transfer.
+    parameters = CostParameters(load_balance_lambda=0.5)
+    advisor = Advisor()
+    instance = shop_instance()
 
-    print("=== partitioning with the guessed (spec-mix) statistics ===")
-    before = advisor.advise(SolveRequest(
-        guessed, num_sites=2, parameters=parameters,
+    # Half-life of 300 events: a few thousand events of a new mix make
+    # the collector forget the old one.
+    collector = DecayedTraceCollector(half_life=300.0)
+    now = stream_mix(collector, instance, STEADY_MIX,
+                     start=0.0, events=1500, rng=rng)
+
+    print("=== deploy: partition under the steady (user-heavy) mix ===")
+    steady_instance = reestimate_from_statistics(
+        instance, collector.statistics()
+    )
+    deployed = advisor.advise(SolveRequest(
+        steady_instance, num_sites=2, parameters=parameters,
         strategy="qp", time_limit=30,
     )).result
-    describe(before, baseline, "spec-mix advisor")
+    incumbent = CurrentLayout.from_result(deployed)
+    for name, sites in incumbent.placements.items():
+        print(f"  {name:<14} -> site {'+'.join(str(s + 1) for s in sites)}")
 
-    print("\n=== re-estimating statistics from the production trace ===")
-    collector = synthesize_trace(guessed, rng)
-    print(f"trace: {collector.total_events} query executions")
-    traced = reestimate_instance(
-        guessed,
-        [QueryEvent(name, stats.mean_rows)
-         for name, stats in collector.aggregate().items()
-         for _ in range(stats.executions)],
-    )
-    traced_baseline = single_site_partitioning(
-        build_coefficients(traced, parameters)
-    ).objective
-    after = advisor.advise(SolveRequest(
-        traced, num_sites=2, parameters=parameters,
-        strategy="qp", time_limit=30,
-    )).result
-    describe(after, traced_baseline, "trace-driven advisor")
+    def readvise(cost, label):
+        return verdict(advisor.readvise(SolveRequest(
+            instance, num_sites=2, parameters=parameters,
+            strategy="sa", seed=11,
+            current_layout=incumbent, migration_cost=cost,
+        ), trace=collector), label)
 
-    moved_transactions = sum(
-        1
-        for transaction in guessed.transactions
-        if before.transaction_site(transaction.name)
-        != after.transaction_site(transaction.name)
-    )
-    moved_attributes = sum(
-        1
-        for attribute in guessed.attributes
-        if before.attribute_sites(attribute.qualified_name)
-        != after.attribute_sites(attribute.qualified_name)
-    )
-    print(f"\nonce the real mix was known, {moved_transactions} of "
-          f"{guessed.num_transactions} transactions and {moved_attributes} "
-          f"of {guessed.num_attributes} attribute placements changed.")
+    print("\n=== steady state: the trace still matches the deployment ===")
+    steady = readvise(1.0, "steady mix, moves at 1/byte")
+
+    print("\n=== flash crowd: order traffic explodes mid-trace ===")
+    stream_mix(collector, instance, FLASH_MIX,
+               start=now, events=3000, rng=rng)
+    cheap = readvise(1.0, "drifted mix, moves at 1/byte")
+    pricey = readvise(20_000.0, "drifted mix, moves at 20k/byte")
+
+    print(f"\nsummary: under the steady mix the incumbent held "
+          f"({steady.recommendation}); the flash crowd left "
+          f"{cheap.net_benefit:.0f} on the table, so cheap moves "
+          f"re-partition ({cheap.recommendation}) — but priced at "
+          f"20k/byte the same drift is not worth the shuffle "
+          f"({pricey.recommendation}).")
 
 
 if __name__ == "__main__":

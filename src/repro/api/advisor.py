@@ -41,14 +41,19 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.api.registry import SolverRegistry, StrategyContext, default_registry
-from repro.api.report import SolveReport
+from repro.api.report import MigrationReport, SolveReport
 from repro.api.request import SolveRequest
-from repro.costmodel.coefficients import CoefficientCache, CostCoefficients
+from repro.costmodel.coefficients import (
+    CoefficientCache,
+    CostCoefficients,
+    attach_migration,
+)
+from repro.costmodel.evaluator import SolutionEvaluator
 from repro.exceptions import OptionsError
 from repro.model.instance import ProblemInstance
 from repro.partition.assignment import PartitioningResult
@@ -152,10 +157,26 @@ class Advisor:
             return entry[1]
 
     def coefficients_for(self, request: SolveRequest) -> CostCoefficients:
-        """Coefficients for a request (shared across equal parameters)."""
-        return self.coefficient_cache(request.instance).coefficients(
+        """Coefficients for a request (shared across equal parameters).
+
+        Requests carrying a :attr:`~repro.api.request.SolveRequest.
+        current_layout` get the migration block attached per-request
+        (a cheap ``dataclasses.replace`` over the cached arrays) — the
+        shared cache itself only ever holds layout-free coefficients,
+        so layout-carrying requests can never leak a move term into
+        unrelated requests over the same instance and parameters.
+        """
+        coefficients = self.coefficient_cache(request.instance).coefficients(
             request.parameters
         )
+        if request.current_layout is not None:
+            coefficients = attach_migration(
+                coefficients,
+                request.current_layout,
+                request.migration_cost,
+                request.num_sites,
+            )
+        return coefficients
 
     def cache_stats(self) -> dict[str, int]:
         """Cumulative cache counters across every request served."""
@@ -281,6 +302,103 @@ class Advisor:
             cache_stats={key: after[key] - before[key] for key in after},
             stage_results=results[:-1],
         )
+
+    def readvise(
+        self,
+        request: SolveRequest,
+        trace: Any = None,
+        *,
+        keep_missing: bool = True,
+    ) -> SolveReport:
+        """Re-partition against an incumbent layout: solve, then verdict.
+
+        The online entry point for a system that *already has* a layout
+        deployed (``request.current_layout``; required).  Optionally
+        re-estimates the instance's workload statistics from ``trace``
+        first — a :class:`~repro.stats.streaming.DecayedTraceCollector`
+        (its decayed snapshot), a
+        :class:`~repro.stats.estimator.TraceCollector`, a mapping of
+        query name to
+        :class:`~repro.stats.estimator.QueryStatistics`, or a plain
+        iterable of :class:`~repro.stats.estimator.QueryEvent` — then
+        serves the request normally (the solver minimises the
+        migration-augmented objective and SA warm-starts from the
+        incumbent) and attaches a
+        :class:`~repro.api.report.MigrationReport` comparing the
+        re-solve against the deterministic stay-put solution.
+
+        The stay-put solution is
+        :func:`~repro.sa.annealer.warm_start_solution` on the same
+        coefficients — exactly what SA's restart 0 replays — so for
+        SA-family strategies the migrated total can never exceed
+        staying put.  ``keep_missing`` is forwarded to the
+        re-estimator: queries absent from the trace keep their old
+        statistics when true, are dropped when false.
+        """
+        with self._lock:
+            if request.current_layout is None:
+                raise OptionsError(
+                    "readvise needs request.current_layout: the stay-vs-"
+                    "move verdict is measured against an incumbent layout"
+                )
+            if trace is not None:
+                from repro.stats.estimator import reestimate_from_statistics
+
+                statistics = self._trace_statistics(trace)
+                traced = reestimate_from_statistics(
+                    request.instance, statistics, keep_missing=keep_missing
+                )
+                request = request.with_(instance=traced)
+
+            coefficients = self.coefficients_for(request)  # migration-attached
+            block = coefficients.migration
+            assert block is not None  # guaranteed by the layout guard above
+            from repro.sa.annealer import warm_start_solution
+            from repro.sa.subsolve import SubproblemSolver
+
+            subsolver = SubproblemSolver(coefficients, request.num_sites)
+            stay_x, stay_y, _ = warm_start_solution(
+                subsolver, block.y0, disjoint=not request.allow_replication
+            )
+            evaluator = SolutionEvaluator(coefficients)
+            stay_cost = evaluator.objective6(stay_x, stay_y)
+
+            report = self._advise_locked(request)
+            result = report.result
+            total_cost = evaluator.objective6(result.x, result.y)
+            move_cost = evaluator.migration_cost(result.y)
+            base = self.coefficient_cache(request.instance).coefficients(
+                request.parameters
+            )
+            solve_cost = SolutionEvaluator(base).objective6(
+                result.x, result.y
+            )
+            moved = not np.array_equal(result.y > 0.5, stay_y > 0.5)
+            report.migration = MigrationReport(
+                stay_cost=stay_cost,
+                solve_cost=solve_cost,
+                move_cost=move_cost,
+                total_cost=total_cost,
+                recommendation=(
+                    "migrate" if moved and total_cost < stay_cost else "stay"
+                ),
+                migration_cost=request.migration_cost,
+            )
+            return report
+
+    @staticmethod
+    def _trace_statistics(trace: Any) -> Mapping[str, Any]:
+        """Normalise the ``trace`` argument of :meth:`readvise`."""
+        from repro.stats.estimator import TraceCollector, estimate_statistics
+        from repro.stats.streaming import DecayedTraceCollector
+
+        if isinstance(trace, DecayedTraceCollector):
+            return trace.statistics()
+        if isinstance(trace, TraceCollector):
+            return trace.aggregate()
+        if isinstance(trace, Mapping):
+            return trace
+        return estimate_statistics(trace)
 
     def advise_many(
         self,

@@ -11,6 +11,35 @@ from repro.api.request import SolveRequest
 from repro.partition.assignment import PartitioningResult
 
 
+@dataclass(frozen=True)
+class MigrationReport:
+    """Stay-vs-move verdict of a :meth:`~repro.api.advisor.Advisor.readvise`.
+
+    All costs are blended objective (6) values on the (possibly
+    re-estimated) instance.  ``stay_cost`` prices the deterministic
+    stay-put solution (the incumbent repaired to feasibility, its
+    transactions placed greedily); ``solve_cost`` is the re-solve's
+    objective *without* the move term, ``move_cost`` the one-time move
+    bytes its layout incurs, and ``total_cost`` the migration-augmented
+    objective the solver actually minimised
+    (``solve_cost + lambda * move_cost``).  ``recommendation`` is
+    ``"migrate"`` iff the re-solve's total undercuts staying put
+    strictly and the layouts actually differ, else ``"stay"``.
+    """
+
+    stay_cost: float
+    solve_cost: float
+    move_cost: float
+    total_cost: float
+    recommendation: str
+    migration_cost: float  # the request's per-byte knob, echoed back
+
+    @property
+    def net_benefit(self) -> float:
+        """``stay_cost - total_cost``: what migrating saves (can be < 0)."""
+        return self.stay_cost - self.total_cost
+
+
 @dataclass
 class SolveReport:
     """A solved request: the partitioning plus serving metadata.
@@ -39,6 +68,10 @@ class SolveReport:
     stage_results:
         Results of earlier stages of a chained strategy (empty when the
         chain has one stage); ``result`` is always the final stage's.
+    migration:
+        The stay-vs-move :class:`MigrationReport` when the report came
+        from :meth:`~repro.api.advisor.Advisor.readvise`; ``None`` for
+        plain advises.
     """
 
     request: SolveRequest
@@ -47,6 +80,7 @@ class SolveReport:
     wall_time: float
     cache_stats: dict[str, int] = field(default_factory=dict)
     stage_results: list[PartitioningResult] = field(default_factory=list)
+    migration: "MigrationReport | None" = None
 
     @property
     def requested_strategy(self) -> str:

@@ -30,6 +30,7 @@ from repro.exceptions import OptionsError
 from repro.model.compressed import COMPRESSION_TIERS
 from repro.model.instance import ProblemInstance
 from repro.model.serialize import instance_from_dict, instance_to_dict
+from repro.partition.current_layout import CurrentLayout
 
 #: Version stamp of the request JSON document.
 REQUEST_FORMAT_VERSION = 1
@@ -92,6 +93,19 @@ class SolveRequest:
     compression_tolerance:
         Lossy-tier budget, relative to the instance's single-site cost
         (ignored unless ``compression == "lossy"``).
+    current_layout:
+        The incumbent :class:`~repro.partition.current_layout.CurrentLayout`
+        already deployed (or its plain-dict form), or ``None`` for the
+        paper's from-scratch problem.  With a layout set, the objective
+        gains the one-time ``migration_cost``-weighted move term for
+        every replica the new solution creates that the incumbent lacks,
+        and SA strategies warm-start from the incumbent.  The layout's
+        attributes must match the instance; it may span *fewer* sites
+        than ``num_sites`` (the cluster grew), never more.
+    migration_cost:
+        Per-byte weight of moving attribute data to a new replica
+        (``>= 0``; requires ``current_layout``).  ``0`` makes migration
+        free: the layout then only seeds the SA warm start.
     """
 
     instance: ProblemInstance
@@ -104,6 +118,8 @@ class SolveRequest:
     time_limit: float | None = None
     compression: str = "off"
     compression_tolerance: float = 0.0
+    current_layout: CurrentLayout | None = None
+    migration_cost: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_sites < 1:
@@ -130,6 +146,39 @@ class SolveRequest:
             raise OptionsError(
                 f"time_limit must be >= 0 seconds, got {self.time_limit}"
             )
+        if self.migration_cost < 0:
+            raise OptionsError(
+                f"migration_cost must be >= 0, got {self.migration_cost}"
+            )
+        if self.current_layout is None:
+            if self.migration_cost != 0.0:
+                raise OptionsError(
+                    "migration_cost without current_layout is meaningless: "
+                    "set the incumbent layout the cost is measured against"
+                )
+        else:
+            layout = self.current_layout
+            if isinstance(layout, Mapping):
+                layout = CurrentLayout.from_dict(layout)
+                object.__setattr__(self, "current_layout", layout)
+            elif not isinstance(layout, CurrentLayout):
+                raise OptionsError(
+                    f"current_layout must be a CurrentLayout (or its dict "
+                    f"form) or None, got {type(layout).__name__}"
+                )
+            expected = {a.qualified_name for a in self.instance.attributes}
+            if expected != set(layout.placements):
+                missing = sorted(expected - set(layout.placements))[:3]
+                extra = sorted(set(layout.placements) - expected)[:3]
+                raise OptionsError(
+                    f"current_layout attributes do not match the instance "
+                    f"(missing e.g. {missing}, unknown e.g. {extra})"
+                )
+            if layout.num_sites > self.num_sites:
+                raise OptionsError(
+                    f"current_layout spans {layout.num_sites} sites but "
+                    f"the request asks for {self.num_sites}"
+                )
         # Freeze the options mapping so the request is a true value.
         object.__setattr__(self, "options", MappingProxyType(dict(self.options)))
 
@@ -153,8 +202,15 @@ class SolveRequest:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """Serialise to a JSON-compatible dictionary (exact inverse of
-        :meth:`from_dict`)."""
-        return {
+        :meth:`from_dict`).
+
+        The layout fields are emitted only when set: a layout-free
+        request serialises exactly as it did before they existed, so
+        canonical JSON (and with it the service's coalescing/cache
+        keys and the queue envelopes) stays byte-stable for legacy
+        payloads.
+        """
+        payload = {
             "format_version": REQUEST_FORMAT_VERSION,
             "instance": instance_to_dict(self.instance),
             "num_sites": self.num_sites,
@@ -172,6 +228,10 @@ class SolveRequest:
             "compression": self.compression,
             "compression_tolerance": self.compression_tolerance,
         }
+        if self.current_layout is not None:
+            payload["current_layout"] = self.current_layout.to_dict()
+            payload["migration_cost"] = self.migration_cost
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SolveRequest":
@@ -206,6 +266,12 @@ class SolveRequest:
             compression_tolerance=float(
                 payload.get("compression_tolerance", 0.0)
             ),
+            current_layout=(
+                None
+                if payload.get("current_layout") is None
+                else CurrentLayout.from_dict(payload["current_layout"])
+            ),
+            migration_cost=float(payload.get("migration_cost", 0.0)),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:

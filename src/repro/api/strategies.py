@@ -110,6 +110,11 @@ def _sa_options_from(request: SolveRequest, restarts_default: int) -> SaOptions:
     if request.seed is not None and kwargs.get("seed") is None:
         kwargs["seed"] = request.seed
     kwargs.setdefault("restarts", restarts_default)
+    if request.current_layout is not None and kwargs.get("warm_start") is None:
+        # An incumbent layout warm-starts every restart (warm_start is a
+        # per-run option, not a portfolio-level one, so best-of-N stays
+        # <= the stay-put cost by construction).
+        kwargs["warm_start"] = request.current_layout.to_dict()
     if (
         request.time_limit is not None
         and "time_limit" not in request.options

@@ -10,6 +10,7 @@ from repro.bench import (
     ablations,
     advisor_batch,
     compression,
+    drift,
     service,
     tables,
     transport,
@@ -33,6 +34,7 @@ TABLE_FUNCTIONS: dict[str, Callable[[BenchProfile | None], BenchTable]] = {
     "ablation_baselines": ablations.ablation_baselines,
     "advisor_batch": advisor_batch.advisor_batch,
     "compression": compression.compression,
+    "drift": drift.drift,
     "service": service.service,
     "transport": transport.transport,
 }

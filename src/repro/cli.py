@@ -131,6 +131,18 @@ def _advise_request(
         raise ReproError(
             "--compress-tolerance only applies to --compress lossy"
         )
+    current_layout = None
+    if args.current_layout is not None:
+        from repro.partition.current_layout import CurrentLayout
+
+        current_layout = CurrentLayout.from_json(
+            Path(args.current_layout).read_text()
+        )
+    elif args.migration_cost:
+        raise ReproError(
+            "--migration-cost needs --current-layout (the incumbent the "
+            "move cost is measured against)"
+        )
     return SolveRequest(
         instance=instance,
         num_sites=args.sites,
@@ -145,6 +157,8 @@ def _advise_request(
             args.compress_tolerance if args.compress_tolerance is not None
             else 0.0
         ),
+        current_layout=current_layout,
+        migration_cost=args.migration_cost,
     )
 
 
@@ -358,6 +372,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="lossy-tier error budget as a fraction of "
                             "the single-site cost (requires --compress "
                             "lossy)")
+        sub.add_argument("--current-layout", default=None, metavar="JSON",
+                            help="path to the incumbent layout (the JSON "
+                            "document CurrentLayout.to_json writes): the "
+                            "objective gains the one-time --migration-cost "
+                            "move term and SA warm-starts from it")
+        sub.add_argument("--migration-cost", type=float, default=0.0,
+                            help="per-byte weight of moving attribute data "
+                            "to a replica the incumbent lacks (requires "
+                            "--current-layout; 0 = the layout only seeds "
+                            "the warm start)")
         sub.add_argument("--layout", action="store_true",
                             help="print the full Table-4-style layout")
     advise = subparsers.add_parser("advise", help="compute a partitioning")

@@ -28,9 +28,11 @@ The ablation write-accounting modes adjust the ``beta * delta`` terms:
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -39,10 +41,37 @@ from repro.costmodel.constants import IndicatorArrays, build_indicators
 from repro.model.compressed import CompressedInstance
 from repro.model.instance import ProblemInstance
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.partition.current_layout import CurrentLayout
+
+
+@dataclass(frozen=True)
+class MigrationBlock:
+    """Migration coefficients against an incumbent layout.
+
+    ``c5[a, s] = migration_cost * w_a * (1 - y0[a, s])`` charges every
+    replica the candidate layout creates that the incumbent does not
+    already hold (``migration_cost`` bytes-to-move weight per attribute
+    byte; replicas the incumbent already has are free, and dropping a
+    replica is free).  The term is linear in ``y``, so it rides through
+    the QP linearisation and the incremental evaluator's ``y``-delta
+    machinery unchanged.
+    """
+
+    layout: "CurrentLayout"
+    migration_cost: float
+    y0: np.ndarray  # (|A|, |S|) incumbent replica indicator
+    c5: np.ndarray  # (|A|, |S|) per-new-replica move cost
+
 
 @dataclass(frozen=True)
 class CostCoefficients:
-    """All static data the solvers need, bundled with its provenance."""
+    """All static data the solvers need, bundled with its provenance.
+
+    ``migration`` is ``None`` for the paper's static problem; when set
+    (see :func:`attach_migration`) the evaluators add the one-time
+    ``sum_{a,s} c5[a,s] * y[a,s]`` move term to objective (4).
+    """
 
     instance: ProblemInstance
     parameters: CostParameters
@@ -52,6 +81,7 @@ class CostCoefficients:
     c2: np.ndarray  # (|A|,)
     c3: np.ndarray  # (|A|, |T|)
     c4: np.ndarray  # (|A|,)
+    migration: MigrationBlock | None = None
 
     @property
     def num_attributes(self) -> int:
@@ -256,6 +286,43 @@ def _assemble_coefficients(
         c3=c3,
         c4=c4,
     )
+
+
+def build_migration_block(
+    instance: ProblemInstance,
+    layout: "CurrentLayout",
+    migration_cost: float,
+    num_sites: int,
+) -> MigrationBlock:
+    """Derive the ``c5`` move-cost array against an incumbent layout."""
+    y0 = layout.to_matrix(instance, num_sites)
+    widths = np.asarray(instance.attribute_widths(), dtype=float)
+    c5 = float(migration_cost) * widths[:, None] * (1.0 - y0)
+    return MigrationBlock(
+        layout=layout, migration_cost=float(migration_cost), y0=y0, c5=c5
+    )
+
+
+def attach_migration(
+    coefficients: CostCoefficients,
+    layout: "CurrentLayout",
+    migration_cost: float,
+    num_sites: int,
+) -> CostCoefficients:
+    """A copy of ``coefficients`` carrying a migration term.
+
+    The c1–c4 arrays, indicators and instance are shared by identity
+    (so :class:`~repro.qp.linearize.LinearizationCache` lookups keyed on
+    them still hit); only the ``migration`` field differs.  With a
+    compressed view, build the block against the *original* instance's
+    coefficients when re-evaluating lifted solutions — attribute widths
+    and the schema are identical across views, so the layout validates
+    against both.
+    """
+    block = build_migration_block(
+        coefficients.instance, layout, migration_cost, num_sites
+    )
+    return dataclasses.replace(coefficients, migration=block)
 
 
 class CoefficientCache:

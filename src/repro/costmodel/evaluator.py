@@ -34,6 +34,7 @@ class CostBreakdown:
     site_loads: tuple[float, ...]
     max_load: float
     latency: float  # Appendix A estimate (0 unless latency_penalty > 0)
+    migration: float = 0.0  # one-time move bytes (0 without a layout)
 
     @property
     def local_access(self) -> float:
@@ -43,7 +44,7 @@ class CostBreakdown:
     @property
     def weighted_transfer(self) -> float:
         """``p * B``."""
-        return self.objective4 - self.local_access
+        return self.objective4 - self.local_access - self.migration
 
 
 class SolutionEvaluator:
@@ -61,7 +62,13 @@ class SolutionEvaluator:
     # Core objectives
     # ------------------------------------------------------------------
     def objective4(self, x: np.ndarray, y: np.ndarray) -> float:
-        """The paper's objective (4): ``A + pB`` as a coefficient sum."""
+        """The paper's objective (4): ``A + pB`` as a coefficient sum.
+
+        With a migration block attached the one-time move term
+        ``sum c5 * y`` is added on top; without one the arithmetic is
+        untouched (no ``+ 0.0``), keeping layout-free evaluations
+        bitwise identical to the static model.
+        """
         x, y = self._check_shapes(x, y)
         coeff = self.coefficients
         bilinear = float(np.einsum("as,at,ts->", y, coeff.c1, x))
@@ -70,8 +77,26 @@ class SolutionEvaluator:
             # Replace the overestimated AW (all fractions of touched
             # tables) by the exact "relevant attributes" accounting.
             overestimate = float(coeff.c4 @ y.sum(axis=1))
-            return bilinear + linear - overestimate + self._relevant_write_access(x, y)
-        return bilinear + linear
+            total = bilinear + linear - overestimate + self._relevant_write_access(x, y)
+        else:
+            total = bilinear + linear
+        if coeff.migration is not None:
+            total += self.migration_cost(y)
+        return total
+
+    def migration_cost(self, y: np.ndarray) -> float:
+        """``sum_{a,s} c5[a,s] * y[a,s]``: bytes moved to reach ``y``."""
+        coeff = self.coefficients
+        if coeff.migration is None:
+            return 0.0
+        c5 = coeff.migration.c5
+        y = np.asarray(y, dtype=float)
+        if c5.shape != y.shape:
+            raise InstanceError(
+                f"migration block spans {c5.shape} but y has shape "
+                f"{y.shape}; rebuild the block for this site count"
+            )
+        return float((c5 * y).sum())
 
     def site_loads(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Equation (5): the work of each site."""
@@ -118,6 +143,10 @@ class SolutionEvaluator:
         loads = self.site_loads(x, y)
         max_load = float(loads.max())
         objective4 = read_access + write_access + parameters.network_penalty * transfer
+        migration = 0.0
+        if coeff.migration is not None:
+            migration = self.migration_cost(y)
+            objective4 = objective4 + migration
         lam = parameters.load_balance_lambda
         objective6 = lam * objective4 + (1.0 - lam) * max_load
         latency = self.latency(x, y) if parameters.latency_penalty > 0 else 0.0
@@ -130,6 +159,7 @@ class SolutionEvaluator:
             site_loads=tuple(float(load) for load in loads),
             max_load=max_load,
             latency=latency,
+            migration=migration,
         )
 
     def latency(self, x: np.ndarray, y: np.ndarray) -> float:
@@ -280,7 +310,15 @@ def objective6_lower_bound(coefficients: CostCoefficients, num_sites: int) -> fl
     # penalty (whose p*B terms cancel inexactly) makes reported
     # objectives land ulps off even when c3/c4 are integral, so c1/c2
     # integrality is part of the condition.
-    magnitude = abs(forced_read) + abs(write_floor) + float(
+    # The migration term is >= 0 for every feasible y (the incumbent
+    # covers each attribute somewhere, so min-per-attribute c5 is 0),
+    # hence the floors above remain sound with a block attached; it
+    # does enter the evaluator's arithmetic, so it joins the
+    # integrality/magnitude accounting below.
+    c5_total = 0.0 if coeff.migration is None else float(
+        np.abs(coeff.migration.c5).sum()
+    )
+    magnitude = abs(forced_read) + abs(write_floor) + c5_total + float(
         np.abs(coeff.c1).sum() + np.abs(coeff.c2).sum() + np.abs(coeff.c4).sum()
     )
     integral = (
@@ -297,13 +335,20 @@ def objective6_lower_bound(coefficients: CostCoefficients, num_sites: int) -> fl
             parameters.write_accounting is not WriteAccounting.RELEVANT_ATTRIBUTES
             or bool(np.all(coeff.write_weights == np.rint(coeff.write_weights)))
         )
+        and (
+            coeff.migration is None
+            or bool(
+                np.all(coeff.migration.c5 == np.rint(coeff.migration.c5))
+            )
+        )
     )
     if integral:
         return bound
     # Accumulated-rounding retreat: both this bound and any evaluated
     # objective are sums of O(|A| * |T| * |S|) products, each step
     # rounding at most eps relative to the running magnitude.
-    terms = (coeff.c3.size + coeff.c4.size + 4) * max(num_sites, 1)
+    migration_terms = 0 if coeff.migration is None else coeff.migration.c5.size
+    terms = (coeff.c3.size + coeff.c4.size + migration_terms + 4) * max(num_sites, 1)
     slack = terms * np.finfo(np.float64).eps * max(magnitude, 1.0)
     return bound - slack
 

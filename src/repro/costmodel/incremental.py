@@ -102,6 +102,21 @@ class IncrementalEvaluator:
             np.hstack((coefficients.c1.T, coefficients.c3.T, phi.T))
         )
         self._sites_arange = np.arange(num_sites)
+        migration = coefficients.migration
+        if migration is not None and migration.c5.shape != (
+            self._num_attributes,
+            num_sites,
+        ):
+            raise InstanceError(
+                f"migration block spans {migration.c5.shape} but the "
+                f"evaluator tracks ({self._num_attributes}, {num_sites}); "
+                f"rebuild the block for this site count"
+            )
+        self._c5 = None if migration is None else migration.c5
+        #: One-time move bytes of the current y (0.0 without a block);
+        #: maintained through the same signed y-deltas as the linear
+        #: term, snapshotted with the scalars for bitwise rollback.
+        self._migration = 0.0
         if self._relevant_mode:
             self._group = coefficients.attribute_group  # (|A|,)
             self._num_groups = coefficients.group_onehot.shape[0]
@@ -184,6 +199,9 @@ class IncrementalEvaluator:
         arange_t = np.arange(coeff.num_transactions)
         self._bilinear = float(self._c1y[self._home, arange_t].sum())
         self._linear = float(self._c2 @ replica_counts)
+        self._migration = (
+            0.0 if self._c5 is None else float((self._c5 * ys).sum())
+        )
         self._read_load = np.zeros(self.num_sites)
         np.add.at(self._read_load, self._home, self._c3y[self._home, arange_t])
         self._write_load = self._c4 @ ys  # (|S|,)
@@ -221,6 +239,8 @@ class IncrementalEvaluator:
         total = self._bilinear + self._linear
         if self._relevant_mode:
             total += self._relevant_total() - self._overestimate
+        if self._c5 is not None:
+            total += self._migration
         return total
 
     def objective6(self) -> float:
@@ -286,7 +306,7 @@ class IncrementalEvaluator:
         "_read_load",
         "_write_load",
     )
-    _SNAP_SCALARS = ("_bilinear", "_linear")
+    _SNAP_SCALARS = ("_bilinear", "_linear", "_migration")
 
     def begin_trial(self) -> None:
         """Snapshot the state; ``rollback`` restores it bitwise."""
@@ -451,6 +471,8 @@ class IncrementalEvaluator:
         c3x_gather = self._c3x[s_arr, a_arr]
         self._bilinear += float(signs @ c1x_gather)
         self._linear += float(signs @ self._c2[a_arr])
+        if self._c5 is not None:
+            self._migration += float(signs @ self._c5[a_arr, s_arr])
         self._read_load += np.bincount(
             s_arr, weights=signs * c3x_gather, minlength=self.num_sites
         )

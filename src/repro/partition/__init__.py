@@ -1,11 +1,13 @@
 """Partitioning results and per-site layouts."""
 
 from repro.partition.assignment import PartitioningResult, single_site_partitioning
+from repro.partition.current_layout import CurrentLayout
 from repro.partition.layout import SiteLayout, build_layout, render_layout
 
 __all__ = [
     "PartitioningResult",
     "single_site_partitioning",
+    "CurrentLayout",
     "SiteLayout",
     "build_layout",
     "render_layout",

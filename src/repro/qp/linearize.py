@@ -218,6 +218,25 @@ def _objective_terms(
         if coefficient != 0.0:
             for s in range(num_sites):
                 objective_terms.append((y_vars[a, s], coefficient))
+    if coefficients.migration is not None:
+        # The migration term is linear in y, so it rides on the y
+        # prices (LinExpr.from_terms accumulates duplicates with c2).
+        # Prices are rebuilt on every (cached or scratch) build, so the
+        # skeleton cache needs no migration-aware key.
+        c5 = coefficients.migration.c5
+        if c5.shape != y_vars.shape:
+            from repro.exceptions import SolverError
+
+            raise SolverError(
+                f"migration block spans {c5.shape} but the model has "
+                f"{y_vars.shape} y variables; rebuild the block for "
+                f"this site count"
+            )
+        for a in range(num_attributes):
+            for s in range(num_sites):
+                coefficient = lam * c5[a, s]
+                if coefficient != 0.0:
+                    objective_terms.append((y_vars[a, s], coefficient))
     if m_var is not None:
         objective_terms.append((m_var, 1.0 - lam))
     if psi_vars:

@@ -85,11 +85,20 @@ class SimulatedAnnealer:
         if options.disjoint:
             return self._run_disjoint(rng, started)
 
-        # Line 3-5: random x, findSolution with x fixed.
-        x = random_transaction_placement(
-            self.coefficients.num_transactions, self.num_sites, rng
-        )
-        y = self._optimize_y(x)
+        warm = self._warm_start_matrix()
+        if warm is not None:
+            # Warm start: restart 0's initial solution replays the
+            # incumbent (repaired to feasibility), so the best visited
+            # cost is <= the stay-put cost by construction.
+            x, y = warm_start_solution(
+                self.subsolver, warm, disjoint=False
+            )[:2]
+        else:
+            # Line 3-5: random x, findSolution with x fixed.
+            x = random_transaction_placement(
+                self.coefficients.num_transactions, self.num_sites, rng
+            )
+            y = self._optimize_y(x)
         incremental = self._make_incremental(x, y)
         if incremental is not None:
             current_cost = incremental.objective6()
@@ -178,7 +187,15 @@ class SimulatedAnnealer:
         options = self.options
         labels = read_sharing_components(self.coefficients)
         num_components = int(labels.max()) + 1
-        assignment = rng.integers(0, self.num_sites, size=num_components)
+        warm = self._warm_start_matrix()
+        if warm is not None:
+            # Deterministic warm start: each component goes to the site
+            # holding the most of its read attributes in the incumbent.
+            assignment = majority_component_assignment(
+                labels, num_components, self.num_sites, self.coefficients, warm
+            )
+        else:
+            assignment = rng.integers(0, self.num_sites, size=num_components)
         x = component_placement_to_x(labels, assignment, self.num_sites)
         y = self.subsolver.optimize_y_greedy(x, disjoint=True)
         incremental = self._make_incremental(x, y)
@@ -265,6 +282,15 @@ class SimulatedAnnealer:
             return x, y, cost
         return best_x, best_y, best_cost
 
+    def _warm_start_matrix(self) -> np.ndarray | None:
+        """The incumbent ``(|A|, |S|)`` indicator, or ``None``."""
+        if self.options.warm_start is None:
+            return None
+        from repro.partition.current_layout import CurrentLayout
+
+        layout = CurrentLayout.from_dict(self.options.warm_start)
+        return layout.to_matrix(self.coefficients.instance, self.num_sites)
+
     def _make_incremental(
         self, x: np.ndarray, y: np.ndarray
     ) -> IncrementalEvaluator | None:
@@ -308,6 +334,59 @@ class SimulatedAnnealer:
 
     def _finish(self, outer_loops: int) -> None:
         self.trace.outer_loops = outer_loops
+
+
+def warm_start_solution(
+    subsolver: SubproblemSolver, y0: np.ndarray, disjoint: bool = False
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """The deterministic "stay-put" solution grown from an incumbent.
+
+    Returns ``(x, y, assignment)``: transactions placed greedily
+    against the incumbent replicas, then the incumbent repaired to
+    feasibility under that placement (replicated mode), or the
+    majority-site component placement with its derived disjoint ``y``.
+    Shared between the annealer's warm start and
+    :meth:`~repro.api.advisor.Advisor.readvise`'s stay-put costing, so
+    "restart 0 replays the incumbent" and "the stay-put cost" are the
+    same solution by construction.
+    """
+    coefficients = subsolver.coefficients
+    num_sites = subsolver.num_sites
+    y0 = np.asarray(y0) > 0.5  # boolean replica indicator
+    if disjoint:
+        labels = read_sharing_components(coefficients)
+        num_components = int(labels.max()) + 1
+        assignment = majority_component_assignment(
+            labels, num_components, num_sites, coefficients, y0
+        )
+        x = component_placement_to_x(labels, assignment, num_sites)
+        y = subsolver.optimize_y_greedy(x, disjoint=True)
+        return x, y, assignment
+    x = subsolver.optimize_x_greedy(y0)
+    y = subsolver.repair_y(x, y0)
+    return x, y, None
+
+
+def majority_component_assignment(
+    labels: np.ndarray,
+    num_components: int,
+    num_sites: int,
+    coefficients: CostCoefficients,
+    y0: np.ndarray,
+) -> np.ndarray:
+    """Per read-sharing component, the incumbent site holding most of
+    the component's read attributes (lowest site on ties; components
+    reading nothing go to site 0)."""
+    phi = coefficients.phi_bool  # (|A|, |T|)
+    votes = np.zeros((num_components, num_sites))
+    for component in range(num_components):
+        transactions = np.flatnonzero(labels == component)
+        attributes = np.flatnonzero(phi[:, transactions].any(axis=1))
+        if attributes.size:
+            votes[component] = y0[attributes].sum(axis=0)
+    # argmax breaks ties toward the lowest site, and all-zero vote rows
+    # (attribute-less components) land on site 0.
+    return votes.argmax(axis=1)
 
 
 def initial_temperature(

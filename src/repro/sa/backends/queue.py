@@ -59,8 +59,13 @@ from repro.sa.options import SaOptions
 #: the socket backend (``workers``, ``max_retries``, heartbeat/backoff
 #: knobs) — reset to defaults by ``restart_options``, but present in
 #: the document, so a version-1 reader would reject the constructor
-#: keywords.  The socket transport negotiates this version at connect.
-ENVELOPE_FORMAT_VERSION = 2
+#: keywords.  Version 3 added the online re-partitioning fields: the
+#: ``warm_start`` options keyword (a new ``SaOptions`` constructor
+#: argument present in every options document) and, when a migration
+#: block is attached, the request's ``current_layout``/
+#: ``migration_cost`` members.  The socket transport negotiates this
+#: version at connect.
+ENVELOPE_FORMAT_VERSION = 3
 TASK_KIND = "sa-restart"
 RESULT_KIND = "sa-restart-result"
 
@@ -94,6 +99,10 @@ def encode_restart_task(
     # disjoint rides on the request's replication mode, exactly like the
     # advisor's "sa" strategy adapter expects it.
     disjoint = option_fields.pop("disjoint")
+    # A migration block rides as the request's layout fields; the
+    # worker reattaches it canonically (c5 is a pure function of the
+    # instance's widths and the layout, so the rebuild is bitwise).
+    migration = coefficients.migration
     request = SolveRequest(
         instance=coefficients.instance,
         num_sites=num_sites,
@@ -102,6 +111,8 @@ def encode_restart_task(
         strategy="sa",
         options=option_fields,
         seed=task.seed,
+        current_layout=None if migration is None else migration.layout,
+        migration_cost=0.0 if migration is None else migration.migration_cost,
     )
     envelope = {
         "format_version": ENVELOPE_FORMAT_VERSION,
@@ -249,6 +260,15 @@ class QueueWorker:
             **dict(request.options), disjoint=not request.allow_replication
         )
         coefficients = build_coefficients(request.instance, request.parameters)
+        if request.current_layout is not None:
+            from repro.costmodel.coefficients import attach_migration
+
+            coefficients = attach_migration(
+                coefficients,
+                request.current_layout,
+                request.migration_cost,
+                request.num_sites,
+            )
         annealer = SimulatedAnnealer(coefficients, request.num_sites, options)
         x, y, objective6 = annealer.run()
         return encode_restart_result(

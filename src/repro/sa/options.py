@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.exceptions import OptionsError
 
@@ -102,6 +103,14 @@ class SaOptions:
     #: deterministic jitter derived from the restart seed.  ``0``
     #: disables backoff (the in-process queue backend's setting).
     backoff_base: float = 0.05
+    #: Incumbent layout to warm-start from, as the JSON dictionary form
+    #: of :class:`~repro.partition.current_layout.CurrentLayout`
+    #: (``layout.to_dict()``) so it rides the queue/socket envelopes
+    #: unchanged.  ``None`` (the default) keeps the historical random
+    #: initial solution.  The warm start replaces the *initial*
+    #: solution of every restart with the repaired incumbent, so the
+    #: portfolio's best is <= the stay-put cost by construction.
+    warm_start: Mapping[str, Any] | None = field(default=None)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -164,6 +173,17 @@ class SaOptions:
             raise OptionsError(
                 f"backoff_base must be >= 0 seconds, got {self.backoff_base}"
             )
+        if self.warm_start is not None:
+            if not isinstance(self.warm_start, Mapping):
+                raise OptionsError(
+                    f"warm_start must be a layout dictionary "
+                    f"(CurrentLayout.to_dict()) or None, got "
+                    f"{type(self.warm_start).__name__}"
+                )
+            if "placements" not in self.warm_start:
+                raise OptionsError(
+                    "warm_start layout dictionary misses 'placements'"
+                )
         if self.backend is not None:
             # Imported lazily: the backends package imports this module.
             from repro.sa.backends import backend_names

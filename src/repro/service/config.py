@@ -49,6 +49,15 @@ class ServiceConfig:
         Extra options merged into a shed request served by the
         ``sa-portfolio`` rung (e.g. ``{"restarts": 2}`` to cap the
         degraded portfolio).  Never applied to undegraded requests.
+    collect_traces:
+        Enable per-client workload-trace collection: clients may report
+        query executions via
+        :meth:`~repro.service.core.AsyncAdvisor.record_event` and the
+        merged trace feeds
+        :meth:`~repro.api.advisor.Advisor.readvise`.  Off by default —
+        a service that is not re-partitioning should not pay for (or
+        retain) per-client statistics.  Tracked clients are bounded by
+        ``max_clients`` (least-recently-active traces are dropped).
     """
 
     max_pending: int = 64
@@ -59,6 +68,7 @@ class ServiceConfig:
     shed_threshold: int = 0
     shed_hard_threshold: int = 0
     shed_sa_options: Mapping[str, Any] = field(default_factory=dict)
+    collect_traces: bool = False
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:

@@ -52,6 +52,7 @@ from repro.exceptions import RejectedError
 from repro.service.config import ServiceConfig
 from repro.service.ratelimit import RateLimiter
 from repro.service.shedding import LEVEL_HARD, LEVEL_LIGHT, SheddingPolicy
+from repro.stats.estimator import TraceCollector
 
 
 @dataclass
@@ -96,6 +97,10 @@ class AsyncAdvisor:
         self._results: OrderedDict[str, SolveReport] = OrderedDict()
         self._executor: ThreadPoolExecutor | None = None
         self._worker: asyncio.Task[None] | None = None
+        # Per-client workload traces (populated only when the
+        # `collect_traces` config knob is on), LRU-bounded like the
+        # rate-limiter's client buckets.
+        self._traces: OrderedDict[str, TraceCollector] = OrderedDict()
         self.counters = {
             "received": 0,
             "served": 0,
@@ -106,6 +111,7 @@ class AsyncAdvisor:
             "rejected_rate_limited": 0,
             "shed_light": 0,
             "shed_hard": 0,
+            "trace_events": 0,
         }
 
     # ------------------------------------------------------------------
@@ -246,6 +252,53 @@ class AsyncAdvisor:
         return report
 
     # ------------------------------------------------------------------
+    # workload traces (for online re-partitioning)
+    # ------------------------------------------------------------------
+    def record_event(
+        self,
+        query_name: str,
+        rows: dict | None = None,
+        *,
+        client: str = "default",
+    ) -> bool:
+        """Log one query execution into ``client``'s trace.
+
+        Returns ``True`` when recorded, ``False`` (a cheap no-op) when
+        the service was configured without ``collect_traces`` — callers
+        can report unconditionally.  Tracked clients are LRU-bounded by
+        ``max_clients``; evicting a client forgets its trace.
+        """
+        if not self.config.collect_traces:
+            return False
+        collector = self._traces.get(client)
+        if collector is None:
+            collector = TraceCollector()
+            self._traces[client] = collector
+            while len(self._traces) > self.config.max_clients:
+                self._traces.popitem(last=False)
+        else:
+            self._traces.move_to_end(client)
+        collector.record(query_name, rows)
+        self.counters["trace_events"] += 1
+        return True
+
+    def client_trace(self, client: str = "default") -> TraceCollector | None:
+        """The trace collected for ``client``, or ``None``."""
+        return self._traces.get(client)
+
+    def merged_trace(self) -> TraceCollector:
+        """All per-client traces folded into one collector.
+
+        The workload-wide view to hand to
+        :meth:`~repro.api.advisor.Advisor.readvise`; always returns a
+        fresh collector (possibly empty), never an internal one.
+        """
+        merged = TraceCollector()
+        for collector in self._traces.values():
+            merged.merge(collector)
+        return merged
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -256,5 +309,6 @@ class AsyncAdvisor:
             "pending": self._queue.qsize(),
             "inflight": len(self._inflight),
             "result_cache_size": len(self._results),
+            "trace_clients": len(self._traces),
             "advisor": self.advisor.cache_stats(),
         }

@@ -6,19 +6,27 @@ package builds those statistics: feed it the raw query events a DBMS
 (or our simulator) logs — which template ran, how many rows it touched
 per table — and it produces the frequencies ``f_q`` and row counts
 ``n_{a,q}`` the cost model needs, or re-estimates an existing
-instance's statistics in place.
+instance's statistics in place.  For online serving,
+:class:`DecayedTraceCollector` keeps exponentially-decayed counts so
+the snapshot tracks the recent workload mix rather than all of history.
 """
 
 from repro.stats.estimator import (
     QueryEvent,
+    QueryStatistics,
     TraceCollector,
     estimate_statistics,
+    reestimate_from_statistics,
     reestimate_instance,
 )
+from repro.stats.streaming import DecayedTraceCollector
 
 __all__ = [
+    "DecayedTraceCollector",
     "QueryEvent",
+    "QueryStatistics",
     "TraceCollector",
     "estimate_statistics",
+    "reestimate_from_statistics",
     "reestimate_instance",
 ]

@@ -77,6 +77,23 @@ class TraceCollector:
         for event in events:
             self.add(event)
 
+    def merge(self, other: "TraceCollector") -> None:
+        """Fold another collector's events into this one.
+
+        Equivalent to having recorded the other collector's events here
+        directly — the service uses this to aggregate per-client traces
+        into one workload-wide view.
+        """
+        for name, count in other._counts.items():
+            self._counts[name] += count
+        for name, sums in other._row_sums.items():
+            for table, total in sums.items():
+                self._row_sums[name][table] += total
+        for name, counts in other._row_counts.items():
+            for table, count in counts.items():
+                self._row_counts[name][table] += count
+        self.total_events += other.total_events
+
     def aggregate(self, frequency_scale: float | None = None) -> dict[str, QueryStatistics]:
         """Aggregate into per-template statistics.
 
@@ -85,7 +102,12 @@ class TraceCollector:
         raw execution count is the frequency, which is what the cost
         model needs (only relative frequencies matter).
         """
-        scale = frequency_scale or 1.0
+        if frequency_scale is not None and frequency_scale <= 0:
+            raise WorkloadError(
+                f"frequency_scale must be > 0, got {frequency_scale} "
+                f"(a zero-length trace window cannot normalise counts)"
+            )
+        scale = 1.0 if frequency_scale is None else frequency_scale
         result: dict[str, QueryStatistics] = {}
         for name, count in self._counts.items():
             mean_rows = {
@@ -125,6 +147,31 @@ def reestimate_instance(
     whose queries all vanish is dropped with them).
     """
     statistics = estimate_statistics(events, frequency_scale)
+    return reestimate_from_statistics(
+        instance, statistics, keep_missing=keep_missing
+    )
+
+
+def reestimate_from_statistics(
+    instance: ProblemInstance,
+    statistics: Mapping[str, QueryStatistics],
+    *,
+    keep_missing: bool = True,
+) -> ProblemInstance:
+    """Rebuild an instance's workload numbers from aggregated statistics.
+
+    The statistics-consuming half of :func:`reestimate_instance`,
+    callable directly with the output of
+    :meth:`TraceCollector.aggregate` or a decayed
+    :meth:`~repro.stats.streaming.DecayedTraceCollector.statistics`
+    snapshot.  Raises :class:`~repro.exceptions.WorkloadError` for an
+    empty statistics mapping (an empty trace estimates nothing) and for
+    query names the instance does not know.
+    """
+    if not statistics:
+        raise WorkloadError(
+            "empty trace: no query statistics to re-estimate from"
+        )
     known_names = {query.name for query in instance.queries}
     for name in statistics:
         if name not in known_names:

@@ -1,0 +1,141 @@
+"""Streaming workload statistics with exponential decay.
+
+The batch :class:`~repro.stats.estimator.TraceCollector` weighs every
+event equally, which is right for a bounded trace but wrong for an
+online advisor: a workload that *drifted* three hours ago should not be
+outvoted by three weeks of stale history.  The
+:class:`DecayedTraceCollector` keeps exponentially-decayed counts — an
+event observed ``t`` time units ago carries weight ``2**(-t /
+half_life)`` — so its :meth:`~DecayedTraceCollector.statistics`
+snapshot tracks the *recent* mix and feeds straight into
+:func:`~repro.stats.estimator.reestimate_from_statistics` (and from
+there into :meth:`~repro.api.advisor.Advisor.readvise`).
+
+Time is explicit: every :meth:`~DecayedTraceCollector.observe` carries
+an ``at`` timestamp supplied by the caller (seconds, ticks, any
+monotone unit consistent with ``half_life``).  Nothing here reads a
+wall clock, so replaying the same event sequence reproduces the same
+statistics bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import WorkloadError
+from repro.stats.estimator import QueryStatistics
+
+
+class DecayedTraceCollector:
+    """Exponentially-decayed query-event counts.
+
+    Parameters
+    ----------
+    half_life:
+        Decay half-life in the caller's time unit (``> 0``): an event
+        this old counts half as much as one observed just now.
+    start:
+        Timestamp the collector considers "now" before any event.
+
+    >>> collector = DecayedTraceCollector(half_life=10.0)
+    >>> collector.observe("getUser", {"Users": 2}, at=0.0)
+    >>> collector.observe("getUser", {"Users": 4}, at=10.0)
+    >>> stats = collector.statistics()["getUser"]
+    >>> round(stats.frequency, 3)  # 1.0 decayed one half-life, plus 1.0
+    1.5
+    >>> round(stats.mean_rows["Users"], 3)  # recent rows weigh double
+    3.333
+    """
+
+    def __init__(self, half_life: float, *, start: float = 0.0) -> None:
+        if half_life <= 0:
+            raise WorkloadError(
+                f"half_life must be > 0, got {half_life}"
+            )
+        self.half_life = float(half_life)
+        self._now = float(start)
+        self._counts: dict[str, float] = {}
+        self._row_sums: dict[str, dict[str, float]] = {}
+        self._row_weights: dict[str, dict[str, float]] = {}
+        self.total_events = 0
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the most recent observation (or ``start``)."""
+        return self._now
+
+    def _decay_to(self, at: float) -> None:
+        if at < self._now:
+            raise WorkloadError(
+                f"time went backwards: observed at {at} after {self._now}"
+            )
+        if at == self._now:
+            return
+        factor = 2.0 ** (-(at - self._now) / self.half_life)
+        for name in self._counts:
+            self._counts[name] *= factor
+        for sums in self._row_sums.values():
+            for table in sums:
+                sums[table] *= factor
+        for weights in self._row_weights.values():
+            for table in weights:
+                weights[table] *= factor
+        self._now = at
+
+    def observe(
+        self,
+        query_name: str,
+        rows: Mapping[str, float] | None = None,
+        *,
+        at: float,
+    ) -> None:
+        """Log one execution of ``query_name`` at timestamp ``at``.
+
+        ``at`` must be monotone non-decreasing across calls; a
+        timestamp earlier than the last one raises
+        :class:`~repro.exceptions.WorkloadError`.
+        """
+        self._decay_to(at)
+        self._counts[query_name] = self._counts.get(query_name, 0.0) + 1.0
+        self.total_events += 1
+        if rows:
+            sums = self._row_sums.setdefault(query_name, {})
+            weights = self._row_weights.setdefault(query_name, {})
+            for table, count in rows.items():
+                if count < 0:
+                    raise WorkloadError(
+                        f"event for {query_name!r}: negative row count "
+                        f"for table {table!r}"
+                    )
+                sums[table] = sums.get(table, 0.0) + float(count)
+                weights[table] = weights.get(table, 0.0) + 1.0
+
+    def statistics(
+        self, now: float | None = None
+    ) -> dict[str, QueryStatistics]:
+        """The decayed statistics snapshot as of ``now``.
+
+        ``now`` defaults to the last observation time; a later ``now``
+        decays everything further first (and advances the collector's
+        clock).  Frequencies are the decayed counts — the cost model
+        only needs relative magnitudes, so no window normalisation is
+        applied.  Row means are decay-weighted averages.
+        """
+        if now is not None:
+            self._decay_to(now)
+        result: dict[str, QueryStatistics] = {}
+        for name, count in self._counts.items():
+            sums = self._row_sums.get(name, {})
+            weights = self._row_weights.get(name, {})
+            mean_rows = {
+                table: sums[table] / weights[table]
+                for table in sums
+                if weights.get(table, 0.0) > 0.0
+            }
+            result[name] = QueryStatistics(
+                query_name=name,
+                executions=int(round(count)),
+                frequency=count,
+                mean_rows=mean_rows,
+            )
+        return result

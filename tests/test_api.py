@@ -694,6 +694,7 @@ class TestCliRequestMapping:
             disjoint=False, time_limit=None, seed=None, restarts=None,
             jobs=None, backend=None, workers=None, prune=False,
             compress="off", compress_tolerance=None,
+            current_layout=None, migration_cost=0.0,
         )
         defaults.update(overrides)
         return argparse.Namespace(**defaults)
