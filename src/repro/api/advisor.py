@@ -41,7 +41,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -58,6 +58,9 @@ from repro.exceptions import OptionsError
 from repro.model.instance import ProblemInstance
 from repro.partition.assignment import PartitioningResult
 from repro.qp.linearize import DEFAULT_CACHE_CAPACITY, LinearizationCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.calibration import CalibrationTable
 
 #: Stages that understand the SA ``jobs`` option (portfolio fan-out).
 _POOLED_STAGES = frozenset({"sa", "sa-portfolio", "auto"})
@@ -89,6 +92,17 @@ class Advisor:
         (each :class:`~repro.costmodel.coefficients.CoefficientCache`
         gets this LRU capacity; ``None`` keeps them unbounded).  Set it
         for week-long deployments sweeping many parameter settings.
+    calibration:
+        An optional :class:`~repro.calibration.CalibrationTable`.  When
+        set, every top-level :meth:`advise` records one observation
+        (resolved strategy, execution backend, instance class, model
+        size, wall time, objective quality) into it, and the ``"auto"``
+        strategy consults it to pick strategy *and* budget
+        (:meth:`~repro.calibration.CalibrationTable.recommend`).  Off by
+        default — requests are never touched, so canonical request JSON
+        and every cache key stay byte-stable — and with an empty table
+        ``"auto"`` falls back bitwise-identically to the model-size
+        cutoff.
     """
 
     #: Default number of per-instance coefficient caches retained.
@@ -101,6 +115,7 @@ class Advisor:
         linearization_capacity: int = DEFAULT_CACHE_CAPACITY,
         instance_cache_capacity: int = DEFAULT_INSTANCE_CAPACITY,
         coefficient_capacity: int | None = None,
+        calibration: "CalibrationTable | None" = None,
     ):
         if instance_cache_capacity < 1:
             raise OptionsError(
@@ -124,6 +139,12 @@ class Advisor:
         self._evicted_misses = 0
         self._evicted_evictions = 0
         self.requests_served = 0
+        self.calibration = calibration
+        # Depth of advise() re-entry (compression and "qp-heavy" issue
+        # sub-requests through the same advisor): the calibration hook
+        # records top-level serves only, so sub-instance solves never
+        # pollute the table with observations no caller asked for.
+        self._advise_depth = 0
         # Serialises concurrent use — see "Threading model" above.
         self._lock = threading.RLock()
 
@@ -223,7 +244,16 @@ class Advisor:
         internal lock (see the module's "Threading model" section).
         """
         with self._lock:
-            return self._advise_locked(request, warm_start=warm_start)
+            self._advise_depth += 1
+            try:
+                report = self._advise_locked(request, warm_start=warm_start)
+            finally:
+                self._advise_depth -= 1
+            if self._advise_depth == 0 and self.calibration is not None:
+                from repro.calibration import record as record_observation
+
+                record_observation(self.calibration, report)
+            return report
 
     def _advise_locked(
         self,

@@ -255,6 +255,16 @@ def auto_strategy(request: SolveRequest, context: StrategyContext) -> Partitioni
     ``AUTO_QP_VARIABLE_CUTOFF`` variables) — the paper's Section VI
     observation that the exact solver stops being practical beyond a
     model-size threshold while SA keeps scaling.
+
+    When the serving advisor carries a
+    :class:`~repro.calibration.CalibrationTable` with evidence for this
+    instance-size class (``Advisor(calibration=...)``), the measured
+    recommendation overrides the cutoff: the pick — and a budget, QP
+    time limits or SA restart counts — comes from
+    :meth:`~repro.calibration.CalibrationTable.recommend`, and the
+    result metadata says so (``auto_source="calibration"``).  An empty
+    or absent table recommends nothing, so the cutoff path runs
+    unchanged — bitwise-identical placements per seed.
     """
     if request.num_sites == 1:
         context.notes["auto_pick"] = "single-site"
@@ -267,9 +277,11 @@ def auto_strategy(request: SolveRequest, context: StrategyContext) -> Partitioni
     options = dict(request.options)
     cutoff = int(options.pop("auto_cutoff", AUTO_QP_VARIABLE_CUTOFF))
     parameters = context.coefficients.parameters
+    calibrated = None
     if parameters.write_accounting is WriteAccounting.RELEVANT_ATTRIBUTES:
         # The linearised QP cannot express this accounting (Section
-        # 2.1); only SA can serve the request, whatever the model size.
+        # 2.1); only SA can serve the request, whatever the model size
+        # or calibration evidence.
         size = {"variables": None}
         picked, allowed = "sa", _SA_OPTION_KEYS
     else:
@@ -280,12 +292,29 @@ def auto_strategy(request: SolveRequest, context: StrategyContext) -> Partitioni
             latency=bool(options.get("latency", False)),
             symmetry_breaking=bool(options.get("symmetry_breaking", True)),
         )
-        if size["variables"] <= cutoff:
+        calibration = getattr(context.advisor, "calibration", None)
+        if calibration is not None:
+            from repro.calibration import instance_class
+
+            calibrated = calibration.recommend(
+                instance_class(
+                    request.instance.num_attributes,
+                    request.instance.num_transactions,
+                ),
+                num_sites=request.num_sites,
+            )
+        if calibrated is not None:
+            picked = calibrated.strategy
+            allowed = _QP_OPTION_KEYS if picked == "qp" else _SA_OPTION_KEYS
+        elif size["variables"] <= cutoff:
             picked, allowed = "qp", _QP_OPTION_KEYS
         else:
             picked, allowed = "sa", _SA_OPTION_KEYS
     context.notes["auto_pick"] = picked
     context.notes["auto_cutoff"] = cutoff
+    context.notes["auto_source"] = (
+        "calibration" if calibrated is not None else "cutoff"
+    )
     narrowed_options = {k: v for k, v in options.items() if k in allowed}
     if "backend" in narrowed_options:
         # "backend" names two different things: the MIP backend for
@@ -311,10 +340,29 @@ def auto_strategy(request: SolveRequest, context: StrategyContext) -> Partitioni
                 )
         elif value in backend_names():
             del narrowed_options["backend"]
+    if calibrated is not None:
+        # The measured budget fills gaps only — explicit options and
+        # request-level time limits always win over calibration.
+        if (
+            calibrated.time_limit is not None
+            and "time_limit" not in narrowed_options
+            and request.time_limit is None
+        ):
+            narrowed_options["time_limit"] = calibrated.time_limit
+        if (
+            calibrated.restarts is not None
+            and "restarts" not in narrowed_options
+        ):
+            narrowed_options["restarts"] = calibrated.restarts
     narrowed = request.with_(strategy=picked, options=narrowed_options)
     strategy = qp_strategy if picked == "qp" else sa_strategy
     result = strategy(narrowed, context)
     result.metadata.setdefault("auto_pick", picked)
+    result.metadata.setdefault("auto_source", context.notes["auto_source"])
+    if calibrated is not None:
+        result.metadata.setdefault(
+            "auto_calibration_observations", calibrated.observations
+        )
     if size["variables"] is not None:
         context.notes["auto_model_variables"] = size["variables"]
         result.metadata.setdefault("auto_model_variables", size["variables"])

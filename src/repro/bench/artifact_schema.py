@@ -1,0 +1,239 @@
+"""Shared JSON schemas for the ``BENCH_*.json`` artifact families.
+
+Every bench target that persists a machine-readable artifact declares
+its shape here, one schema per family, all sharing the common envelope
+(``bench``, ``profile``, ``seed``, ``generated_at``, ``rows``).  The
+schemas are the contract between the emitters, the reporting renderers
+(:mod:`repro.reporting`) and CI: ``tests/test_bench.py`` validates every
+emitter's output against its family schema, so a bench refactor cannot
+silently change an artifact's shape without the suite noticing.
+
+The validator implements the small JSON-Schema subset the contracts
+need (``type``/``required``/``properties``/``items``/``enum``/``const``)
+— no external dependency, deterministic error paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.exceptions import ArtifactError
+
+_TYPES = {
+    "object": (dict,),
+    "array": (list,),
+    "string": (str,),
+    "integer": (int,),
+    "number": (int, float),
+    "boolean": (bool,),
+    "null": (type(None),),
+}
+
+
+def _check_type(value: Any, expected: str | list[str], path: str) -> None:
+    names = [expected] if isinstance(expected, str) else list(expected)
+    for name in names:
+        try:
+            accepted = _TYPES[name]
+        except KeyError:
+            raise ArtifactError(
+                f"schema bug at {path}: unknown type {name!r}"
+            ) from None
+        # bool is an int subclass; only "boolean" (or "number" asked
+        # explicitly alongside) may accept it.
+        if isinstance(value, bool) and name in ("integer", "number"):
+            continue
+        if isinstance(value, accepted):
+            return
+    raise ArtifactError(
+        f"{path}: expected {' or '.join(names)}, got "
+        f"{type(value).__name__} ({value!r})"
+    )
+
+
+def validate_schema(value: Any, schema: Mapping[str, Any], path: str = "$") -> None:
+    """Validate ``value`` against the schema subset; raise :class:`ArtifactError`."""
+    if "const" in schema and value != schema["const"]:
+        raise ArtifactError(
+            f"{path}: expected {schema['const']!r}, got {value!r}"
+        )
+    if "enum" in schema and value not in schema["enum"]:
+        raise ArtifactError(
+            f"{path}: {value!r} not one of {list(schema['enum'])}"
+        )
+    if "type" in schema:
+        _check_type(value, schema["type"], path)
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                raise ArtifactError(f"{path}: missing required key {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                validate_schema(value[name], sub, f"{path}.{name}")
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            validate_schema(item, schema["items"], f"{path}[{index}]")
+
+
+def _envelope(family: str, extra_required: list[str],
+              properties: Mapping[str, Any], row_schema: Mapping[str, Any],
+              ) -> dict[str, Any]:
+    """The shared artifact envelope specialised for one family."""
+    return {
+        "type": "object",
+        "required": ["bench", "profile", "seed", "generated_at", "rows",
+                     *extra_required],
+        "properties": {
+            "bench": {"const": family},
+            "profile": {"type": "string"},
+            "seed": {"type": "integer"},
+            "generated_at": {"type": "string"},
+            "rows": {"type": "array", "items": row_schema},
+            **properties,
+        },
+    }
+
+
+_RATIO_ROW = {
+    "type": "object",
+    "required": ["metric", "ratio", "detail"],
+    "properties": {
+        "metric": {"type": "string"},
+        "ratio": {"type": "number"},
+        "detail": {"type": "string"},
+    },
+}
+
+#: One schema per artifact family; the key doubles as the family tag in
+#: the artifact's ``bench`` field and in its ``BENCH_<family>.json``
+#: (modulo the compression family, whose tag is its bench name).
+ARTIFACT_SCHEMAS: dict[str, dict[str, Any]] = {
+    "drift": _envelope(
+        "drift",
+        ["migration_cost"],
+        {"migration_cost": {"type": "number"}},
+        {
+            "type": "object",
+            "required": ["drift", "resolve_vs_stay", "warm_vs_cold_iters",
+                         "verdict", "detail"],
+            "properties": {
+                "drift": {"type": "number"},
+                "resolve_vs_stay": {"type": "number"},
+                "warm_vs_cold_iters": {"type": "number"},
+                "verdict": {"enum": ["stay", "migrate"]},
+                "detail": {"type": "string"},
+            },
+        },
+    ),
+    "service": _envelope(
+        "service",
+        ["counters"],
+        {
+            "counters": {
+                "type": "object",
+                "required": ["storm", "mixed", "shed"],
+                "properties": {
+                    "storm": {"type": "object"},
+                    "mixed": {"type": "object"},
+                    "shed": {"type": "object"},
+                },
+            },
+        },
+        _RATIO_ROW,
+    ),
+    "transport": _envelope(
+        "transport",
+        ["storm"],
+        {
+            "storm": {
+                "type": "object",
+                "required": ["requeue_count", "retried_restarts",
+                             "worker_failures"],
+                "properties": {
+                    "requeue_count": {"type": "integer"},
+                    "retried_restarts": {"type": "integer"},
+                    "worker_failures": {"type": "integer"},
+                },
+            },
+        },
+        _RATIO_ROW,
+    ),
+    "compression": _envelope(
+        "compression",
+        ["strategy"],
+        {"strategy": {"type": "string"}},
+        {
+            "type": "object",
+            "required": ["instance", "tier", "ratio", "objective",
+                         "gap", "bound", "wall_time"],
+            "properties": {
+                "instance": {"type": "string"},
+                "tier": {"type": "string"},
+                "ratio": {"type": "number"},
+                "objective": {"type": "number"},
+                "gap": {"type": "number"},
+                "bound": {"type": "number"},
+                "wall_time": {"type": "number"},
+            },
+        },
+    ),
+    "calibration": _envelope(
+        "calibration",
+        ["calibration", "gate"],
+        {
+            "calibration": {
+                "type": "object",
+                "required": ["format_version", "observations"],
+                "properties": {
+                    "format_version": {"type": "integer"},
+                    "observations": {"type": "array", "items": {"type": "object"}},
+                },
+            },
+            "gate": {
+                "type": "object",
+                "required": ["max_ratio", "min_ratio"],
+                "properties": {
+                    "max_ratio": {"type": "number"},
+                    "min_ratio": {"type": "number"},
+                },
+            },
+        },
+        {
+            "type": "object",
+            "required": ["instance", "instance_class", "restarts",
+                         "single_objective", "portfolio_objective", "ratio",
+                         "single_outer_loops", "portfolio_outer_loops"],
+            "properties": {
+                "instance": {"type": "string"},
+                "instance_class": {"type": "string"},
+                "restarts": {"type": "integer"},
+                "single_objective": {"type": "number"},
+                "portfolio_objective": {"type": "number"},
+                "ratio": {"type": "number"},
+                "single_outer_loops": {"type": "integer"},
+                "portfolio_outer_loops": {"type": "integer"},
+            },
+        },
+    ),
+}
+
+
+def validate_artifact(payload: Any, family: str | None = None) -> str:
+    """Validate one artifact document; returns its family tag.
+
+    ``family`` pins the expected family; when ``None`` the document's
+    own ``bench`` field picks the schema.  Unknown families and shape
+    violations raise :class:`~repro.exceptions.ArtifactError`.
+    """
+    if not isinstance(payload, dict):
+        raise ArtifactError(
+            f"artifact must be a JSON object, got {type(payload).__name__}"
+        )
+    tag = family if family is not None else payload.get("bench")
+    if tag not in ARTIFACT_SCHEMAS:
+        raise ArtifactError(
+            f"unknown artifact family {tag!r}; known: "
+            f"{', '.join(sorted(ARTIFACT_SCHEMAS))}"
+        )
+    validate_schema(payload, ARTIFACT_SCHEMAS[tag])
+    return tag

@@ -9,6 +9,7 @@ from typing import Callable
 from repro.bench import (
     ablations,
     advisor_batch,
+    calibrate,
     compression,
     drift,
     service,
@@ -33,6 +34,7 @@ TABLE_FUNCTIONS: dict[str, Callable[[BenchProfile | None], BenchTable]] = {
     "ablation_backend": ablations.ablation_backend,
     "ablation_baselines": ablations.ablation_baselines,
     "advisor_batch": advisor_batch.advisor_batch,
+    "calibrate": calibrate.calibrate,
     "compression": compression.compression,
     "drift": drift.drift,
     "service": service.service,

@@ -1,0 +1,45 @@
+"""Calibrated auto-routing: a persisted per-strategy performance history.
+
+The paper's Section VI scalability cutoff says *when* the exact QP
+solver stops being practical; this package records what actually
+happened — per strategy, per execution backend, per instance-size class
+— so the ``"auto"`` strategy can route on measured evidence instead of
+a variable count alone:
+
+* :class:`CalibrationTable` — a JSON-round-trippable, content-addressed
+  set of :class:`Observation` records whose merge is order-independent
+  and idempotent,
+* :func:`record` / :func:`observation_from_report` — the opt-in hook an
+  :class:`~repro.api.advisor.Advisor` threads through every serve
+  (``Advisor(calibration=table)``; off by default, so canonical request
+  JSON and cache keys stay byte-stable),
+* :meth:`CalibrationTable.recommend` — the calibrated pick (strategy
+  *and* budget) consumed by ``"auto"``; with no evidence it returns
+  ``None`` and ``auto`` falls back bitwise-identically to the
+  model-size cutoff.
+
+The ``bench calibrate`` target (:mod:`repro.bench.calibrate`) persists a
+table plus equal-CPU-budget portfolio ratios as ``BENCH_calibration.json``;
+:mod:`repro.reporting` renders that artifact as publication tables.
+"""
+
+from repro.calibration.record import observation_from_report, record
+from repro.calibration.table import (
+    CALIBRATION_FORMAT_VERSION,
+    NO_BACKEND,
+    CalibrationTable,
+    Observation,
+    Recommendation,
+    instance_class,
+)
+
+__all__ = [
+    "CALIBRATION_FORMAT_VERSION",
+    "NO_BACKEND",
+    "CalibrationTable",
+    "Observation",
+    "Recommendation",
+    "instance_class",
+    "observation_from_report",
+    "record",
+]

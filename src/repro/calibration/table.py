@@ -1,0 +1,388 @@
+"""The persisted calibration table: per-strategy performance history.
+
+A :class:`CalibrationTable` accumulates :class:`Observation` records —
+one per served solve: which strategy ran, on which execution backend,
+over which instance-size class, how large the linearised model was, how
+long the solve took and what objective quality it reached.  The table
+round-trips through JSON exactly (:meth:`CalibrationTable.to_json` /
+:meth:`CalibrationTable.from_json`), and merging is a plain keyed union:
+every observation is stored under the SHA-256 digest of its canonical
+JSON form, so merges are order-independent and idempotent by
+construction — replaying a file, merging two overlapping shards, or
+merging a table into itself can never double-count a measurement.
+
+Corrupt or unknown-version documents raise a structured
+:class:`~repro.exceptions.CalibrationError`; the loader never silently
+resets to an empty table, because an empty table silently changes what
+the calibrated ``"auto"`` strategy does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.exceptions import CalibrationError
+
+#: Version stamp of the calibration JSON document.
+CALIBRATION_FORMAT_VERSION = 1
+
+#: Placeholder backend for strategies that have no execution backend
+#: (the QP solver, the baselines, single-run SA).
+NO_BACKEND = "-"
+
+
+def instance_class(num_attributes: int, num_transactions: int) -> str:
+    """The size bucket an instance falls into, e.g. ``"A64xT128"``.
+
+    Both dimensions round up to the next power of two, so observations
+    over similarly sized instances pool together while a 64x100 testbed
+    and a million-transaction trace land in different classes.  The
+    bucketing is pure arithmetic — the same instance always lands in
+    the same class, on every machine.
+    """
+    if num_attributes < 1 or num_transactions < 1:
+        raise CalibrationError(
+            f"instance_class needs positive dimensions, got "
+            f"{num_attributes} attributes x {num_transactions} transactions"
+        )
+
+    def bucket(value: int) -> int:
+        return 1 << max(0, math.ceil(math.log2(value)))
+
+    return f"A{bucket(num_attributes)}xT{bucket(num_transactions)}"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One solve's worth of calibration evidence.
+
+    ``quality`` is the solved objective divided by the single-site
+    baseline objective on the same coefficients — dimensionless, so
+    observations from different instances of one class are comparable
+    (lower is better; 1.0 means no improvement over one site).
+    ``variables`` is the linearised model size when known (``None`` for
+    strategies that never build the model).
+    """
+
+    strategy: str
+    backend: str
+    instance_class: str
+    num_sites: int
+    wall_time: float
+    objective: float
+    quality: float | None = None
+    variables: int | None = None
+    restarts: int = 1
+    seed: int | None = None
+    request_key: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Observation":
+        if not isinstance(payload, Mapping):
+            raise CalibrationError(
+                f"observation must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = set(payload) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise CalibrationError(
+                f"observation carries unknown fields {sorted(unknown)}"
+            )
+        try:
+            observation = cls(
+                strategy=str(payload["strategy"]),
+                backend=str(payload.get("backend", NO_BACKEND)),
+                instance_class=str(payload["instance_class"]),
+                num_sites=int(payload["num_sites"]),
+                wall_time=float(payload["wall_time"]),
+                objective=float(payload["objective"]),
+                quality=(
+                    None if payload.get("quality") is None
+                    else float(payload["quality"])
+                ),
+                variables=(
+                    None if payload.get("variables") is None
+                    else int(payload["variables"])
+                ),
+                restarts=int(payload.get("restarts", 1)),
+                seed=(
+                    None if payload.get("seed") is None
+                    else int(payload["seed"])
+                ),
+                request_key=str(payload.get("request_key", "")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CalibrationError(
+                f"malformed observation {dict(payload)!r}: {error}"
+            ) from None
+        if observation.wall_time < 0:
+            raise CalibrationError(
+                f"observation wall_time must be >= 0, got "
+                f"{observation.wall_time}"
+            )
+        if observation.num_sites < 1:
+            raise CalibrationError(
+                f"observation num_sites must be >= 1, got "
+                f"{observation.num_sites}"
+            )
+        return observation
+
+    def key(self) -> str:
+        """Content-addressed identity: the digest of the canonical JSON.
+
+        Two observations are the same record iff every field matches, so
+        keyed storage makes merges idempotent without any sequencing.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """What the table advises ``"auto"`` to run for one instance class.
+
+    ``strategy`` is the calibrated pick; ``restarts`` is the best
+    observed SA portfolio size (``None`` when the pick is not SA or only
+    single runs were observed); ``time_limit`` is an observed-time
+    budget with 2x headroom for QP picks (``None`` for SA picks —
+    truncating an anneal would make fixed-seed runs machine-dependent).
+    ``observations`` counts the evidence behind the pick.
+    """
+
+    strategy: str
+    restarts: int | None
+    time_limit: float | None
+    observations: int
+    mean_quality: float
+
+
+class CalibrationTable:
+    """Keyed set of :class:`Observation` records with summaries on top."""
+
+    def __init__(self, observations: Iterable[Observation] = ()):
+        self._observations: dict[str, Observation] = {}
+        for observation in observations:
+            self.add(observation)
+
+    # ------------------------------------------------------------------
+    # container basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        """Observations in deterministic (key-sorted) order."""
+        for key in sorted(self._observations):
+            yield self._observations[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CalibrationTable):
+            return NotImplemented
+        return self._observations == other._observations
+
+    def add(self, observation: Observation) -> bool:
+        """Insert one observation; ``False`` if it was already present."""
+        if not isinstance(observation, Observation):
+            raise CalibrationError(
+                f"can only add Observation records, got "
+                f"{type(observation).__name__}"
+            )
+        key = observation.key()
+        if key in self._observations:
+            return False
+        self._observations[key] = observation
+        return True
+
+    def merge(self, other: "CalibrationTable") -> int:
+        """Union ``other`` into this table; returns newly added count.
+
+        Order-independent and idempotent: ``a.merge(b)`` then
+        ``a.merge(b)`` again equals a single merge, and
+        ``a ∪ b == b ∪ a`` record for record.
+        """
+        if not isinstance(other, CalibrationTable):
+            raise CalibrationError(
+                f"can only merge CalibrationTable, got "
+                f"{type(other).__name__}"
+            )
+        added = 0
+        for observation in other:
+            if self.add(observation):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": CALIBRATION_FORMAT_VERSION,
+            "observations": [obs.to_dict() for obs in self],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CalibrationTable":
+        if not isinstance(payload, Mapping):
+            raise CalibrationError(
+                f"calibration document must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        version = payload.get("format_version")
+        if version != CALIBRATION_FORMAT_VERSION:
+            raise CalibrationError(
+                f"unsupported calibration format_version {version!r} "
+                f"(this build reads version {CALIBRATION_FORMAT_VERSION})"
+            )
+        observations = payload.get("observations")
+        if not isinstance(observations, list):
+            raise CalibrationError(
+                "calibration document misses its 'observations' list"
+            )
+        return cls(Observation.from_dict(entry) for entry in observations)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CalibrationTable":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CalibrationError(
+                f"calibration document is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CalibrationTable":
+        """Read a table from disk (:class:`CalibrationError` on corruption)."""
+        try:
+            text = Path(path).read_text()
+        except OSError as error:
+            raise CalibrationError(
+                f"cannot read calibration table {path}: {error}"
+            ) from None
+        return cls.from_json(text)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(indent=2) + "\n")
+
+    # ------------------------------------------------------------------
+    # summaries and the calibrated-auto recommendation
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        *,
+        strategy: str | None = None,
+        backend: str | None = None,
+        instance_class: str | None = None,
+    ) -> list[Observation]:
+        """Observations matching every given filter, key-sorted."""
+        return [
+            obs for obs in self
+            if (strategy is None or obs.strategy == strategy)
+            and (backend is None or obs.backend == backend)
+            and (instance_class is None or obs.instance_class == instance_class)
+        ]
+
+    def summary(self) -> list[dict[str, Any]]:
+        """Per (strategy, backend, instance class) aggregate rows.
+
+        Deterministically ordered by the grouping key; rows carry the
+        observation count, mean wall time, and mean/best quality (the
+        quality means skip observations without a baseline).
+        """
+        groups: dict[tuple[str, str, str], list[Observation]] = {}
+        for obs in self:
+            groups.setdefault(
+                (obs.strategy, obs.backend, obs.instance_class), []
+            ).append(obs)
+        rows = []
+        for (strategy, backend, klass) in sorted(groups):
+            members = groups[(strategy, backend, klass)]
+            qualities = [o.quality for o in members if o.quality is not None]
+            rows.append({
+                "strategy": strategy,
+                "backend": backend,
+                "instance_class": klass,
+                "observations": len(members),
+                "mean_wall_time": sum(o.wall_time for o in members)
+                / len(members),
+                "mean_quality": (
+                    sum(qualities) / len(qualities) if qualities else None
+                ),
+                "best_quality": min(qualities) if qualities else None,
+            })
+        return rows
+
+    def recommend(
+        self,
+        instance_class: str,
+        *,
+        num_sites: int | None = None,
+        candidates: Iterable[str] = ("qp", "sa"),
+    ) -> Recommendation | None:
+        """The calibrated pick for one instance class, or ``None``.
+
+        Considers only strategies in ``candidates`` (what the caller can
+        actually run) with at least one quality-bearing observation in
+        the class; picks the best mean quality, breaking ties by lower
+        mean wall time and then by name, so the recommendation is a pure
+        function of the table's contents.  ``None`` — meaning "no
+        evidence, fall back to the model-size cutoff" — is returned for
+        empty tables, unknown classes, and classes observed only under
+        other strategies.
+        """
+        candidates = tuple(candidates)
+        scored = []
+        for name in sorted(set(candidates)):
+            members = [
+                obs for obs in self.select(
+                    strategy=name, instance_class=instance_class
+                )
+                if obs.quality is not None
+                and (num_sites is None or obs.num_sites == num_sites)
+            ]
+            if not members:
+                continue
+            mean_quality = sum(o.quality for o in members) / len(members)
+            mean_time = sum(o.wall_time for o in members) / len(members)
+            scored.append((mean_quality, mean_time, name, members))
+        if not scored:
+            return None
+        mean_quality, mean_time, name, members = min(
+            scored, key=lambda entry: (entry[0], entry[1], entry[2])
+        )
+        restarts = None
+        time_limit = None
+        if name == "qp":
+            # Budget the MIP at twice the slowest observed solve so a
+            # regression times out instead of hanging a serving path.
+            time_limit = 2.0 * max(o.wall_time for o in members)
+        else:
+            # The best-quality observation's portfolio size is the
+            # budget knob for SA: restart counts are deterministic,
+            # wall-clock truncation is not.
+            best = min(
+                members,
+                key=lambda o: (o.quality, o.wall_time, o.key()),
+            )
+            if best.restarts > 1:
+                restarts = best.restarts
+        return Recommendation(
+            strategy=name,
+            restarts=restarts,
+            time_limit=time_limit,
+            observations=sum(len(entry[3]) for entry in scored),
+            mean_quality=mean_quality,
+        )

@@ -10,6 +10,9 @@ Installed as ``repro-partition`` (also ``python -m repro``):
 * ``repro-partition advise --schema schema.sql --workload load.sql ...``
   — partition a user-supplied SQL workload,
 * ``repro-partition bench table3`` — regenerate a paper table,
+* ``repro-partition report BENCH_calibration.json`` — render any
+  persisted ``BENCH_*.json`` benchmark artifact as a publication-grade
+  markdown or LaTeX table,
 * ``repro-partition worker --connect HOST:PORT`` — serve as a remote
   restart worker for an advisor running ``--backend socket``,
 * ``repro-partition serve`` — run the async advisor service
@@ -181,6 +184,10 @@ def _print_report(args: argparse.Namespace, instance, report, baseline) -> None:
               f"(service was under queue pressure)")
     if report.strategy != args.solver:
         print(f"strategy      : {args.solver} -> resolved {report.strategy}")
+    if result.metadata.get("auto_source") == "calibration":
+        print(f"calibrated    : routed by "
+              f"{result.metadata.get('auto_calibration_observations', 0)} "
+              f"recorded observations")
     if result.metadata.get("restarts", 1) > 1:
         pruned = result.metadata.get("pruned_restarts", 0)
         requeued = result.metadata.get("requeue_count", 0)
@@ -219,10 +226,33 @@ def _print_report(args: argparse.Namespace, instance, report, baseline) -> None:
         print(render_layout(result))
 
 
+def _load_calibration(args: argparse.Namespace):
+    """The persisted calibration table named by ``--calibration``.
+
+    A missing file is an empty table (first run of a growing history);
+    a corrupt or unknown-version file is a hard error — silently
+    starting over would discard the recorded performance history.
+    """
+    if args.calibration is None:
+        return None
+    from repro.calibration import CalibrationTable
+
+    path = Path(args.calibration)
+    if not path.exists():
+        return CalibrationTable()
+    return CalibrationTable.load(path)
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
+    if args.record_calibration and args.calibration is None:
+        raise ReproError(
+            "--record-calibration needs --calibration (the table file "
+            "the observation is appended to)"
+        )
     instance = _load_instance(args)
     parameters = _solve_parameters(args)
-    advisor = Advisor()
+    calibration = _load_calibration(args)
+    advisor = Advisor(calibration=calibration)
     coefficients = advisor.coefficient_cache(instance).coefficients(parameters)
     baseline = single_site_partitioning(coefficients)
     # No implicit SA budget: without an explicit --time-limit every
@@ -230,6 +260,30 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     # with one, it bounds the whole solve (QP limit defaults to 60s).
     report = advisor.advise(_advise_request(args, instance, parameters))
     _print_report(args, instance, report, baseline)
+    if calibration is not None and args.record_calibration:
+        calibration.save(args.calibration)
+        print(f"calibration   : {len(calibration)} observations -> "
+              f"{args.calibration}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a persisted ``BENCH_*.json`` artifact as tables."""
+    from repro.reporting import RENDERERS, load_artifact, write_report
+
+    artifact = load_artifact(args.artifact)
+    formats = (
+        tuple(RENDERERS) if args.format == "both" else (args.format,)
+    )
+    if args.output is None:
+        for name in formats:
+            print(RENDERERS[name](artifact))
+        return 0
+    written = write_report(
+        artifact, args.output, stem=Path(args.artifact).stem, formats=formats
+    )
+    for path in written:
+        print(f"wrote {path}")
     return 0
 
 
@@ -387,12 +441,39 @@ def build_parser() -> argparse.ArgumentParser:
     advise = subparsers.add_parser("advise", help="compute a partitioning")
     add_instance_args(advise)
     add_solve_args(advise)
+    advise.add_argument("--calibration", default=None, metavar="JSON",
+                        help="persisted calibration table (the document "
+                        "CalibrationTable.to_json writes, or the one "
+                        "embedded in BENCH_calibration.json's "
+                        "'calibration' key after extraction): 'auto' "
+                        "routes on its recorded evidence instead of the "
+                        "model-size cutoff alone; a missing file is an "
+                        "empty table, a corrupt one is an error")
+    advise.add_argument("--record-calibration", action="store_true",
+                        help="after solving, append this solve's "
+                        "observation to --calibration and save it back "
+                        "(grows the table run over run)")
     advise.set_defaults(func=_cmd_advise)
 
     bench = subparsers.add_parser("bench", help="regenerate paper tables")
     bench.add_argument("targets", nargs="+", choices=list(TABLE_FUNCTIONS))
     bench.add_argument("--profile", choices=("quick", "paper"), default=None)
     bench.set_defaults(func=_cmd_bench)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a persisted BENCH_*.json artifact as publication "
+        "tables (markdown / LaTeX)",
+    )
+    report.add_argument("artifact", metavar="BENCH_JSON",
+                        help="path to a BENCH_*.json benchmark artifact")
+    report.add_argument("--format", choices=("markdown", "latex", "both"),
+                        default="markdown",
+                        help="rendering(s) to produce (default: markdown)")
+    report.add_argument("--output", default=None, metavar="DIR",
+                        help="write <artifact-stem>.md/.tex files into DIR "
+                        "instead of printing to stdout")
+    report.set_defaults(func=_cmd_report)
 
     worker = subparsers.add_parser(
         "worker",

@@ -62,6 +62,25 @@ class RejectedError(ReproError):
         self.retry_after = retry_after
 
 
+class CalibrationError(ReproError):
+    """A calibration table could not be read or merged.
+
+    Raised for corrupt files, unknown format versions and malformed
+    observations — always as a *structured* failure the caller can
+    catch, never a silent reset to an empty table (which would quietly
+    discard the accumulated performance history).
+    """
+
+
+class ArtifactError(ReproError):
+    """A benchmark artifact (``BENCH_*.json``) is malformed.
+
+    Raised by the reporting loader and the artifact-schema validator
+    when a document is not valid JSON, misses required fields, or
+    carries fields of the wrong shape for its artifact family.
+    """
+
+
 class TransportError(ReproError):
     """A socket-transport failure (framing, handshake, or connection)."""
 

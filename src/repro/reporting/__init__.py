@@ -1,0 +1,68 @@
+"""Publication-grade tables from persisted ``BENCH_*.json`` artifacts.
+
+The benchmark targets persist machine-readable JSON artifacts (the
+repo's perf-trajectory record); this package renders any of them as
+markdown and LaTeX tables — the ProjectScylla ``generate_tables``
+pattern — from the *same* data the regression gates run on, so the
+published numbers and the gated numbers can never drift apart:
+
+* :func:`load_artifact` — read + schema-validate one artifact
+  (:mod:`repro.bench.artifact_schema` holds the per-family contracts),
+* :func:`render_markdown` / :func:`render_latex` — deterministic,
+  escaped, aligned table renderings (byte-identical for the same
+  artifact, which CI asserts),
+* :func:`write_report` — both renderings to files, the
+  ``repro-partition report`` command's backend.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.reporting.latex import escape_latex, render_latex
+from repro.reporting.load import column_order, load_artifact
+from repro.reporting.markdown import escape_markdown, render_markdown
+
+#: The renderers by format name (the CLI's ``--format`` choices).
+RENDERERS = {
+    "markdown": render_markdown,
+    "latex": render_latex,
+}
+
+_SUFFIXES = {"markdown": ".md", "latex": ".tex"}
+
+
+def write_report(
+    artifact: Mapping[str, Any],
+    directory: str | Path,
+    *,
+    stem: str | None = None,
+    formats: tuple[str, ...] = ("markdown", "latex"),
+) -> list[Path]:
+    """Render ``artifact`` into ``directory`` in every requested format.
+
+    Files are named ``<stem><suffix>`` (default stem:
+    ``BENCH_<family>``); returns the written paths in format order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = stem or f"BENCH_{artifact['bench']}"
+    written = []
+    for name in formats:
+        path = directory / f"{stem}{_SUFFIXES[name]}"
+        path.write_text(RENDERERS[name](artifact))
+        written.append(path)
+    return written
+
+
+__all__ = [
+    "RENDERERS",
+    "column_order",
+    "escape_latex",
+    "escape_markdown",
+    "load_artifact",
+    "render_latex",
+    "render_markdown",
+    "write_report",
+]

@@ -1,0 +1,89 @@
+"""LaTeX rendering of benchmark artifacts.
+
+Emits a self-contained ``table`` float (booktabs rules) from the same
+artifact document the markdown renderer reads: numeric columns
+right-aligned, every cell escaped (``%``, ``&``, ``_`` and friends so a
+workload named ``UserOps.get_50%`` cannot break the compile), and
+missing metrics rendered as ``--`` cells.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.bench.formatting import format_cell
+from repro.reporting.load import column_order
+
+#: What a missing metric renders as in LaTeX.
+MISSING_CELL = "--"
+
+_ESCAPES = {
+    "\\": r"\textbackslash{}",
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+}
+
+
+def escape_latex(text: str) -> str:
+    """Escape LaTeX-active characters inside one table cell."""
+    out = []
+    for char in text:
+        out.append(_ESCAPES.get(char, char))
+    return "".join(out).replace("\n", " ")
+
+
+def _cell(row: Mapping[str, Any], column: str) -> str:
+    if column not in row:
+        return MISSING_CELL
+    return escape_latex(format_cell(row[column]))
+
+
+def _numeric(rows: list[Mapping[str, Any]], column: str) -> bool:
+    values = [row[column] for row in rows if column in row]
+    return bool(values) and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in values if v is not None
+    )
+
+
+def render_latex(artifact: Mapping[str, Any]) -> str:
+    """One artifact as a booktabs ``table`` float."""
+    rows = list(artifact.get("rows", []))
+    columns = column_order(rows)
+    spec = "".join("r" if _numeric(rows, column) else "l"
+                   for column in columns)
+    caption = escape_latex(
+        f"{artifact['bench']} (profile {artifact['profile']}, "
+        f"seed {artifact['seed']}, generated {artifact['generated_at']})"
+    )
+    label = f"tab:bench-{artifact['bench']}"
+    lines = [
+        r"\begin{table}[ht]",
+        r"  \centering",
+        rf"  \caption{{{caption}}}",
+        rf"  \label{{{label}}}",
+        rf"  \begin{{tabular}}{{{spec}}}",
+        r"    \toprule",
+        "    " + " & ".join(
+            rf"\textbf{{{escape_latex(str(column))}}}" for column in columns
+        ) + r" \\",
+        r"    \midrule",
+    ]
+    for row in rows:
+        lines.append(
+            "    " + " & ".join(_cell(row, column) for column in columns)
+            + r" \\"
+        )
+    lines += [
+        r"    \bottomrule",
+        r"  \end{tabular}",
+        r"\end{table}",
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,56 @@
+"""Loading and validating ``BENCH_*.json`` artifacts for rendering."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.bench.artifact_schema import validate_artifact
+from repro.exceptions import ArtifactError
+
+
+def load_artifact(
+    source: str | Path | Mapping[str, Any], *, family: str | None = None
+) -> dict[str, Any]:
+    """Read one benchmark artifact and validate it against its schema.
+
+    ``source`` is a path to a ``BENCH_*.json`` file or an already-parsed
+    document.  The artifact's ``bench`` field selects the family schema
+    unless ``family`` pins one.  Malformed documents raise
+    :class:`~repro.exceptions.ArtifactError` — never a silently empty
+    report.
+    """
+    if isinstance(source, Mapping):
+        payload: Any = dict(source)
+    else:
+        path = Path(source)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise ArtifactError(
+                f"cannot read artifact {path}: {error}"
+            ) from None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ArtifactError(
+                f"artifact {path} is not valid JSON: {error}"
+            ) from None
+    validate_artifact(payload, family)
+    return payload
+
+
+def column_order(rows: list[Mapping[str, Any]]) -> list[str]:
+    """Every key appearing in ``rows``, in first-seen order.
+
+    Rows of one artifact usually share a single shape; rows that carry
+    extra metrics simply widen the table, and rows missing a metric
+    render an empty cell — the renderers never drop data silently.
+    """
+    order: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in order:
+                order.append(key)
+    return order

@@ -1,0 +1,77 @@
+"""Markdown rendering of benchmark artifacts.
+
+Publication-grade in the ProjectScylla ``generate_tables`` mould: one
+pipe table per artifact, columns aligned by padding so the raw text
+reads as cleanly as the rendered output, numeric columns right-aligned,
+missing metrics rendered as em-dash cells, and every cell escaped so
+workload names with pipes or asterisks cannot corrupt the table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.bench.formatting import format_cell
+from repro.reporting.load import column_order
+
+#: What a missing metric renders as (a row without that column's key).
+MISSING_CELL = "—"
+
+_ESCAPES = {"\\": "\\\\", "|": "\\|", "*": "\\*", "_": "\\_", "`": "\\`"}
+
+
+def escape_markdown(text: str) -> str:
+    """Escape markdown-active characters inside one table cell."""
+    out = []
+    for char in text:
+        out.append(_ESCAPES.get(char, char))
+    return "".join(out).replace("\n", " ")
+
+
+def _cell(row: Mapping[str, Any], column: str) -> str:
+    if column not in row:
+        return MISSING_CELL
+    return escape_markdown(format_cell(row[column]))
+
+
+def _numeric(rows: list[Mapping[str, Any]], column: str) -> bool:
+    values = [row[column] for row in rows if column in row]
+    return bool(values) and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in values if v is not None
+    )
+
+
+def render_markdown(artifact: Mapping[str, Any]) -> str:
+    """One artifact as a titled, aligned markdown table."""
+    rows = list(artifact.get("rows", []))
+    columns = column_order(rows)
+    header = [escape_markdown(str(column)) for column in columns]
+    body = [[_cell(row, column) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body), 3)
+        if body else max(len(header[i]), 3)
+        for i in range(len(columns))
+    ]
+    right = [_numeric(rows, column) for column in columns]
+
+    def pad(text: str, i: int) -> str:
+        return text.rjust(widths[i]) if right[i] else text.ljust(widths[i])
+
+    lines = [
+        f"## {artifact['bench']} — profile {artifact['profile']}, "
+        f"seed {artifact['seed']}",
+        "",
+        f"_generated {artifact['generated_at']}_",
+        "",
+    ]
+    lines.append("| " + " | ".join(pad(header[i], i)
+                                   for i in range(len(columns))) + " |")
+    lines.append("|" + "|".join(
+        ("-" * (widths[i] + 1) + ":") if right[i] else ("-" * (widths[i] + 2))
+        for i in range(len(columns))
+    ) + "|")
+    for line in body:
+        lines.append("| " + " | ".join(pad(line[i], i)
+                                       for i in range(len(columns))) + " |")
+    return "\n".join(lines) + "\n"

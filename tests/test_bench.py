@@ -1,11 +1,21 @@
 """Benchmark harness plumbing (formatting, config, fast table targets)."""
 
+import ast
+import json
+import re
+from pathlib import Path
+
 import pytest
 
+from repro.bench.artifact_schema import (
+    ARTIFACT_SCHEMAS,
+    validate_artifact,
+    validate_schema,
+)
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.formatting import BenchTable, format_cell, render_table
 from repro.bench.runner import TABLE_FUNCTIONS, run_table
-from repro.exceptions import ReproError
+from repro.exceptions import ArtifactError, ReproError
 from repro.sa.options import SaOptions
 
 FAST_PROFILE = BenchProfile(
@@ -101,3 +111,153 @@ class TestTargets:
         for name in ("NewOrder", "Payment", "Delivery"):
             assert name in transactions
         assert any("objective" in note for note in table.notes)
+
+
+# One (target, artifact file, schema family) triple per bench emitter
+# that persists a machine-readable artifact.  New emitters must appear
+# here AND in repro.bench.artifact_schema, or the completeness test
+# below fails.
+ARTIFACT_EMITTERS = [
+    ("drift", "BENCH_drift.json", "drift"),
+    ("service", "BENCH_service.json", "service"),
+    ("transport", "BENCH_transport.json", "transport"),
+    ("compression", "BENCH_compression.json", "compression"),
+    ("calibrate", "BENCH_calibration.json", "calibration"),
+]
+
+
+class TestArtifactSchemas:
+    """Every persisted ``BENCH_*.json`` validates against its family schema."""
+
+    @pytest.mark.parametrize(
+        "target,filename,family", ARTIFACT_EMITTERS, ids=lambda v: str(v)
+    )
+    def test_emitter_output_validates(self, target, filename, family,
+                                      tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ARTIFACT_DIR", str(tmp_path))
+        run_table(target, FAST_PROFILE)
+        path = tmp_path / filename
+        assert path.exists(), f"{target} did not write {filename}"
+        payload = json.loads(path.read_text())
+        assert validate_artifact(payload) == family
+        assert payload["profile"] == FAST_PROFILE.name
+
+    def test_every_schema_family_has_an_emitter(self):
+        assert {family for _, _, family in ARTIFACT_EMITTERS} == set(
+            ARTIFACT_SCHEMAS
+        )
+
+    def test_missing_required_key_is_rejected(self):
+        payload = {
+            "bench": "drift", "profile": "test", "seed": 0,
+            "generated_at": "now", "rows": [],
+        }  # misses migration_cost
+        with pytest.raises(ArtifactError, match="migration_cost"):
+            validate_artifact(payload)
+
+    def test_row_shape_is_enforced(self):
+        payload = {
+            "bench": "transport", "profile": "test", "seed": 0,
+            "generated_at": "now",
+            "storm": {"requeue_count": 0, "retried_restarts": 0,
+                      "worker_failures": 0},
+            "rows": [{"metric": "m", "ratio": "fast", "detail": "d"}],
+        }
+        with pytest.raises(ArtifactError, match=r"rows\[0\]\.ratio"):
+            validate_artifact(payload)
+
+    def test_enum_and_const_violations_are_reported(self):
+        with pytest.raises(ArtifactError, match="not one of"):
+            validate_schema("maybe", {"enum": ["stay", "migrate"]})
+        with pytest.raises(ArtifactError, match="expected"):
+            validate_schema("drift", {"const": "service"})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ArtifactError, match="expected integer"):
+            validate_schema(True, {"type": "integer"})
+
+    def test_unknown_family_is_rejected(self):
+        with pytest.raises(ArtifactError, match="unknown artifact family"):
+            validate_artifact({"bench": "mystery"})
+
+
+# ----------------------------------------------------------------------
+# The no-wall-clock convention, enforced mechanically
+# ----------------------------------------------------------------------
+_TIMEISH = re.compile(
+    r"(^|_)(wall|elapsed|seconds?|duration|perf_counter|monotonic)(_|$)",
+    re.IGNORECASE,
+)
+
+
+def _identifiers(node):
+    """Every dotted / subscripted identifier string under ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            yield sub.value
+
+
+def _absolute_time_assertions(source, filename):
+    """Assertions comparing a time-ish quantity against a numeric literal.
+
+    Comparing wall-clock against a hard-coded bound makes a test hang
+    its verdict on machine speed; bench code must gate on ratios,
+    iteration budgets, or computed (relative) budgets instead.  Literal
+    ``0`` is allowed — non-negativity is not a wall-clock budget.
+    """
+    violations = []
+    for node in ast.walk(ast.parse(source, filename=filename)):
+        if not isinstance(node, ast.Assert):
+            continue
+        for compare in ast.walk(node.test):
+            if not isinstance(compare, ast.Compare):
+                continue
+            sides = [compare.left, *compare.comparators]
+            timeish = [
+                side for side in sides
+                if any(_TIMEISH.search(name) for name in _identifiers(side))
+            ]
+            literal = [
+                side for side in sides
+                if isinstance(side, ast.Constant)
+                and isinstance(side.value, (int, float))
+                and not isinstance(side.value, bool)
+                and side.value != 0
+            ]
+            if timeish and literal:
+                violations.append(f"{filename}:{node.lineno}")
+    return violations
+
+
+class TestNoWallClockConvention:
+    def test_bench_sources_never_assert_absolute_time(self):
+        root = Path(__file__).parent.parent
+        sources = sorted(
+            list((root / "src" / "repro" / "bench").glob("*.py"))
+            + list((root / "benchmarks").glob("*.py"))
+        )
+        assert sources, "bench sources not found — repo layout changed?"
+        violations = []
+        for path in sources:
+            violations += _absolute_time_assertions(
+                path.read_text(), str(path.relative_to(root))
+            )
+        assert not violations, (
+            "absolute wall-clock assertions found (gate on ratios or "
+            f"iteration budgets instead): {violations}"
+        )
+
+    def test_the_audit_actually_detects_violations(self):
+        flagged = _absolute_time_assertions(
+            "assert wall_time < 2.5\n", "example.py"
+        )
+        assert flagged == ["example.py:1"]
+        ok = _absolute_time_assertions(
+            "assert portfolio_wall <= budget\nassert wall_time >= 0\n",
+            "example.py",
+        )
+        assert ok == []

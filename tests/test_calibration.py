@@ -1,0 +1,397 @@
+"""The calibration table, its recording hook, and calibrated auto-routing.
+
+Three contracts pinned here:
+
+* the table's JSON round-trip is exact, and merging is order-independent
+  and idempotent (property-tested) — replaying shards can never
+  double-count;
+* corrupt and unknown-version documents raise a structured
+  :class:`~repro.exceptions.CalibrationError`, never a silent reset;
+* calibrated ``"auto"`` with an empty (or absent) table is
+  bitwise-identical to the cutoff-only ``"auto"`` for every pick the
+  strategy can make, per pinned seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Advisor, SolveRequest
+from repro.calibration import (
+    CALIBRATION_FORMAT_VERSION,
+    CalibrationTable,
+    Observation,
+    instance_class,
+    observation_from_report,
+)
+from repro.costmodel.config import CostParameters, WriteAccounting
+from repro.exceptions import CalibrationError
+from repro.instances.library import named_instance
+
+SA_TEST_OPTIONS = {"inner_loops": 4, "max_outer_loops": 6, "patience": 4}
+
+
+def small_instance():
+    return named_instance("rndBt4x15")
+
+
+def observation(**overrides):
+    base = dict(
+        strategy="sa", backend="-", instance_class="A16xT16", num_sites=2,
+        wall_time=0.5, objective=100.0, quality=0.8, variables=120,
+        restarts=1, seed=7, request_key="k",
+    )
+    base.update(overrides)
+    return Observation(**base)
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip + merge properties
+# ----------------------------------------------------------------------
+observation_strategy = st.builds(
+    Observation,
+    strategy=st.sampled_from(["qp", "sa", "sa-portfolio", "greedy"]),
+    backend=st.sampled_from(["-", "serial", "process", "queue"]),
+    instance_class=st.sampled_from(["A16xT16", "A128xT16", "A1024xT128"]),
+    num_sites=st.integers(min_value=1, max_value=8),
+    wall_time=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    objective=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    quality=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+    ),
+    variables=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+    restarts=st.integers(min_value=1, max_value=16),
+    seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+    request_key=st.text(
+        alphabet="0123456789abcdef", min_size=0, max_size=8
+    ),
+)
+
+
+class TestRoundTripAndMerge:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(observation_strategy, max_size=12))
+    def test_json_round_trip_exact(self, observations):
+        table = CalibrationTable(observations)
+        assert CalibrationTable.from_json(table.to_json()) == table
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(observation_strategy, max_size=10),
+        st.randoms(use_true_random=False),
+    )
+    def test_merge_is_order_independent(self, observations, rng):
+        shuffled = list(observations)
+        rng.shuffle(shuffled)
+        assert CalibrationTable(shuffled) == CalibrationTable(observations)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(observation_strategy, max_size=10),
+        st.lists(observation_strategy, max_size=10),
+    )
+    def test_merge_is_idempotent_and_commutative(self, left, right):
+        a, b = CalibrationTable(left), CalibrationTable(right)
+        once = CalibrationTable(left)
+        once.merge(b)
+        twice = CalibrationTable(left)
+        twice.merge(b)
+        assert twice.merge(b) == 0  # third merge adds nothing
+        assert once == twice
+        flipped = CalibrationTable(right)
+        flipped.merge(a)
+        assert once == flipped
+
+    def test_self_merge_adds_nothing(self):
+        table = CalibrationTable([observation()])
+        assert table.merge(table) == 0
+        assert len(table) == 1
+
+    def test_duplicate_add_is_a_noop(self):
+        table = CalibrationTable()
+        assert table.add(observation()) is True
+        assert table.add(observation()) is False
+        assert len(table) == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        table = CalibrationTable([observation(), observation(seed=8)])
+        path = tmp_path / "calibration.json"
+        table.save(path)
+        assert CalibrationTable.load(path) == table
+
+
+# ----------------------------------------------------------------------
+# Structured failures — never a silent reset
+# ----------------------------------------------------------------------
+class TestCorruptDocuments:
+    def test_invalid_json_raises(self):
+        with pytest.raises(CalibrationError, match="not valid JSON"):
+            CalibrationTable.from_json("{nope")
+
+    def test_unknown_version_raises(self):
+        payload = {"format_version": 99, "observations": []}
+        with pytest.raises(CalibrationError, match="format_version 99"):
+            CalibrationTable.from_dict(payload)
+
+    def test_missing_version_raises(self):
+        with pytest.raises(CalibrationError, match="format_version"):
+            CalibrationTable.from_dict({"observations": []})
+
+    def test_non_object_document_raises(self):
+        with pytest.raises(CalibrationError, match="JSON object"):
+            CalibrationTable.from_json("[1, 2, 3]")
+
+    def test_missing_observations_raises(self):
+        with pytest.raises(CalibrationError, match="observations"):
+            CalibrationTable.from_dict(
+                {"format_version": CALIBRATION_FORMAT_VERSION}
+            )
+
+    def test_malformed_observation_raises(self):
+        payload = {
+            "format_version": CALIBRATION_FORMAT_VERSION,
+            "observations": [{"strategy": "sa"}],  # misses required fields
+        }
+        with pytest.raises(CalibrationError, match="malformed observation"):
+            CalibrationTable.from_dict(payload)
+
+    def test_unknown_observation_fields_raise(self):
+        entry = observation().to_dict()
+        entry["wat"] = 1
+        payload = {
+            "format_version": CALIBRATION_FORMAT_VERSION,
+            "observations": [entry],
+        }
+        with pytest.raises(CalibrationError, match="unknown fields"):
+            CalibrationTable.from_dict(payload)
+
+    def test_negative_wall_time_raises(self):
+        entry = observation().to_dict()
+        entry["wall_time"] = -1.0
+        with pytest.raises(CalibrationError, match="wall_time"):
+            Observation.from_dict(entry)
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(CalibrationError, match="cannot read"):
+            CalibrationTable.load(tmp_path / "missing.json")
+
+    def test_corrupt_file_raises_not_resets(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{broken")
+        with pytest.raises(CalibrationError):
+            CalibrationTable.load(path)
+
+
+# ----------------------------------------------------------------------
+# The instance-class bucketing
+# ----------------------------------------------------------------------
+class TestInstanceClass:
+    def test_rounds_up_to_powers_of_two(self):
+        assert instance_class(9, 15) == "A16xT16"
+        assert instance_class(16, 16) == "A16xT16"
+        assert instance_class(17, 16) == "A32xT16"
+        assert instance_class(1, 1) == "A1xT1"
+
+    def test_rejects_empty_dimensions(self):
+        with pytest.raises(CalibrationError, match="positive"):
+            instance_class(0, 5)
+
+
+# ----------------------------------------------------------------------
+# Calibrated auto: empty table is bitwise-identical to the cutoff
+# ----------------------------------------------------------------------
+def _auto_request(**overrides):
+    base = dict(
+        instance=small_instance(), num_sites=2, strategy="auto", seed=11,
+        options=dict(SA_TEST_OPTIONS),
+    )
+    base.update(overrides)
+    return SolveRequest(**base)
+
+
+def assert_bitwise_equal(left, right):
+    assert np.array_equal(left.result.x, right.result.x)
+    assert np.array_equal(left.result.y, right.result.y)
+    assert left.result.objective == right.result.objective
+    assert left.strategy == right.strategy
+    assert left.metadata.get("auto_pick") == right.metadata.get("auto_pick")
+
+
+class TestEmptyTableContract:
+    """Every pick ``auto`` can make, with and without an empty table."""
+
+    @pytest.mark.parametrize("case", ["qp", "sa", "single-site", "forced-sa"])
+    def test_empty_table_is_bitwise_identical(self, case):
+        if case == "qp":
+            request = _auto_request(options={})  # small model -> qp
+        elif case == "sa":
+            request = _auto_request(
+                options={"auto_cutoff": 0, **SA_TEST_OPTIONS}
+            )
+        elif case == "single-site":
+            request = _auto_request(num_sites=1, options={})
+        else:  # forced-sa: RELEVANT_ATTRIBUTES accounting has no QP
+            request = _auto_request(
+                parameters=CostParameters(
+                    write_accounting=WriteAccounting.RELEVANT_ATTRIBUTES
+                ),
+            )
+        plain = Advisor().advise(request)
+        calibrated = Advisor(calibration=CalibrationTable()).advise(request)
+        assert_bitwise_equal(plain, calibrated)
+
+    def test_absent_table_is_the_default(self):
+        assert Advisor().calibration is None
+
+    def test_empty_table_recommends_nothing(self):
+        assert CalibrationTable().recommend("A16xT16") is None
+
+    def test_requests_stay_byte_stable(self):
+        """Calibration is advisor-side state: the request document (the
+        service's coalescing / cache key) is identical either way."""
+        request = _auto_request()
+        before = request.canonical_json()
+        Advisor(calibration=CalibrationTable()).advise(request)
+        assert request.canonical_json() == before
+        assert "calibration" not in before
+
+
+# ----------------------------------------------------------------------
+# The recording hook
+# ----------------------------------------------------------------------
+class TestRecordingHook:
+    def test_advise_records_one_observation(self):
+        table = CalibrationTable()
+        advisor = Advisor(calibration=table)
+        request = _auto_request()
+        report = advisor.advise(request)
+        assert len(table) == 1
+        recorded = next(iter(table))
+        assert recorded.strategy == report.strategy
+        assert recorded.instance_class == instance_class(
+            request.instance.num_attributes,
+            request.instance.num_transactions,
+        )
+        assert recorded.num_sites == 2
+        assert recorded.objective == report.objective
+        assert recorded.quality is not None and recorded.quality > 0
+        assert recorded.request_key == request.canonical_key()
+
+    def test_nested_serves_record_top_level_only(self):
+        """Compression re-enters advise() on the compressed view; only
+        the caller's request may land in the table."""
+        table = CalibrationTable()
+        advisor = Advisor(calibration=table)
+        request = SolveRequest(
+            small_instance(), num_sites=2, strategy="sa", seed=3,
+            options=dict(SA_TEST_OPTIONS), compression="lossless",
+        )
+        advisor.advise(request)
+        assert len(table) == 1
+        assert next(iter(table)).request_key == request.canonical_key()
+
+    def test_off_by_default(self):
+        advisor = Advisor()
+        advisor.advise(_auto_request())
+        assert advisor.calibration is None
+
+    def test_observation_from_report_reads_model_size(self):
+        report = Advisor().advise(_auto_request(options={}))
+        observation = observation_from_report(report)
+        assert observation.variables == report.metadata["auto_model_variables"]
+
+
+# ----------------------------------------------------------------------
+# Calibrated routing: evidence overrides the cutoff, budget applied
+# ----------------------------------------------------------------------
+class TestCalibratedRouting:
+    def klass(self):
+        inst = small_instance()
+        return instance_class(inst.num_attributes, inst.num_transactions)
+
+    def evidence(self, winner: str, restarts: int = 1):
+        klass = self.klass()
+        return CalibrationTable([
+            Observation(strategy="sa", backend="-", instance_class=klass,
+                        num_sites=2, wall_time=0.1, objective=50.0,
+                        quality=0.5 if winner == "sa" else 0.9,
+                        restarts=restarts),
+            Observation(strategy="qp", backend="-", instance_class=klass,
+                        num_sites=2, wall_time=2.0, objective=80.0,
+                        quality=0.5 if winner == "qp" else 0.9),
+        ])
+
+    def test_sa_evidence_overrides_qp_cutoff(self):
+        # The cutoff alone would pick qp for this tiny model.
+        report = Advisor(calibration=self.evidence("sa", restarts=3)).advise(
+            _auto_request()
+        )
+        assert report.metadata["auto_pick"] == "sa"
+        assert report.metadata["auto_source"] == "calibration"
+        assert report.metadata["restarts"] == 3  # the calibrated budget
+
+    def test_qp_evidence_keeps_qp_with_budget(self):
+        report = Advisor(calibration=self.evidence("qp")).advise(
+            _auto_request(options={})
+        )
+        assert report.metadata["auto_pick"] == "qp"
+        assert report.metadata["auto_source"] == "calibration"
+
+    def test_cutoff_pick_reports_its_source(self):
+        report = Advisor().advise(_auto_request(options={}))
+        assert report.metadata["auto_source"] == "cutoff"
+
+    def test_explicit_options_beat_the_calibrated_budget(self):
+        report = Advisor(calibration=self.evidence("sa", restarts=3)).advise(
+            _auto_request(options={**SA_TEST_OPTIONS, "restarts": 2})
+        )
+        assert report.metadata["restarts"] == 2
+
+    def test_recommend_ignores_other_classes(self):
+        table = self.evidence("sa")
+        assert table.recommend("A1024xT1024") is None
+
+    def test_recommend_breaks_ties_deterministically(self):
+        klass = self.klass()
+        table = CalibrationTable([
+            Observation(strategy="sa", backend="-", instance_class=klass,
+                        num_sites=2, wall_time=1.0, objective=10.0,
+                        quality=0.5),
+            Observation(strategy="qp", backend="-", instance_class=klass,
+                        num_sites=2, wall_time=1.0, objective=10.0,
+                        quality=0.5),
+        ])
+        # Equal quality and time: the lexicographically first name wins.
+        assert table.recommend(klass).strategy == "qp"
+
+    def test_forced_sa_accounting_ignores_qp_evidence(self):
+        request = _auto_request(
+            parameters=CostParameters(
+                write_accounting=WriteAccounting.RELEVANT_ATTRIBUTES
+            ),
+        )
+        report = Advisor(calibration=self.evidence("qp")).advise(request)
+        assert report.metadata["auto_pick"] == "sa"
+        assert report.metadata["auto_source"] == "cutoff"
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+class TestSummary:
+    def test_summary_groups_and_orders(self):
+        table = CalibrationTable([
+            observation(strategy="sa", wall_time=1.0, quality=0.6),
+            observation(strategy="sa", wall_time=3.0, quality=0.8, seed=9),
+            observation(strategy="qp", wall_time=2.0, quality=None),
+        ])
+        rows = table.summary()
+        assert [row["strategy"] for row in rows] == ["qp", "sa"]
+        sa_row = rows[1]
+        assert sa_row["observations"] == 2
+        assert sa_row["mean_wall_time"] == pytest.approx(2.0)
+        assert sa_row["mean_quality"] == pytest.approx(0.7)
+        assert sa_row["best_quality"] == pytest.approx(0.6)
+        assert rows[0]["mean_quality"] is None

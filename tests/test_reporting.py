@@ -1,0 +1,172 @@
+"""Golden-file and unit tests for the artifact reporting renderers.
+
+The goldens (``tests/fixtures/BENCH_fixture.{md,tex}``) are checked-in
+byte-exact renderings of ``tests/fixtures/BENCH_fixture.json`` — a
+fixture deliberately riddled with markdown- and LaTeX-active characters
+(pipes, underscores, asterisks, ``%``, ``&``, ``^``, ``~``, braces), a
+missing-metric cell, and a ``null`` metric.  Any renderer change shows
+up as a diff against the golden, which is the point: published tables
+must be reproducible byte-for-byte from the persisted artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ArtifactError
+from repro.reporting import (
+    RENDERERS,
+    column_order,
+    escape_latex,
+    escape_markdown,
+    load_artifact,
+    render_latex,
+    render_markdown,
+    write_report,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURE_JSON = FIXTURES / "BENCH_fixture.json"
+
+
+@pytest.fixture()
+def artifact():
+    return load_artifact(FIXTURE_JSON)
+
+
+# ----------------------------------------------------------------------
+# Golden files
+# ----------------------------------------------------------------------
+class TestGoldens:
+    def test_markdown_matches_golden_byte_for_byte(self, artifact):
+        golden = (FIXTURES / "BENCH_fixture.md").read_text()
+        assert render_markdown(artifact) == golden
+
+    def test_latex_matches_golden_byte_for_byte(self, artifact):
+        golden = (FIXTURES / "BENCH_fixture.tex").read_text()
+        assert render_latex(artifact) == golden
+
+    def test_rendering_is_deterministic(self, artifact):
+        for render in RENDERERS.values():
+            assert render(artifact) == render(artifact)
+
+    def test_write_report_reproduces_the_goldens(self, artifact, tmp_path):
+        paths = write_report(artifact, tmp_path, stem="BENCH_fixture")
+        assert [p.name for p in paths] == [
+            "BENCH_fixture.md", "BENCH_fixture.tex",
+        ]
+        for path in paths:
+            assert path.read_text() == (FIXTURES / path.name).read_text()
+
+    def test_write_report_default_stem_is_the_family(self, artifact, tmp_path):
+        paths = write_report(artifact, tmp_path, formats=("markdown",))
+        assert paths[0].name == "BENCH_service.md"
+
+
+# ----------------------------------------------------------------------
+# Escaping
+# ----------------------------------------------------------------------
+class TestEscaping:
+    def test_markdown_escapes_table_breakers(self):
+        assert escape_markdown("a|b") == "a\\|b"
+        assert escape_markdown("snake_case*bold*`code`") == (
+            "snake\\_case\\*bold\\*\\`code\\`"
+        )
+        assert escape_markdown("back\\slash") == "back\\\\slash"
+
+    def test_latex_escapes_active_characters(self):
+        assert escape_latex("50% & more") == r"50\% \& more"
+        assert escape_latex("a_b^c~d") == (
+            r"a\_b\textasciicircum{}c\textasciitilde{}d"
+        )
+        assert escape_latex("{$#}") == r"\{\$\#\}"
+        assert escape_latex("a\\b") == r"a\textbackslash{}b"
+
+    def test_newlines_flatten_to_spaces(self):
+        assert escape_markdown("two\nlines") == "two lines"
+        assert escape_latex("two\nlines") == "two lines"
+
+
+# ----------------------------------------------------------------------
+# Table shape: alignment, missing cells, column discovery
+# ----------------------------------------------------------------------
+class TestTableShape:
+    def test_numeric_columns_right_align_in_markdown(self, artifact):
+        separator = render_markdown(artifact).splitlines()[5]
+        cells = separator.strip("|").split("|")
+        # metric / ratio / detail / note: only ratio is numeric.
+        assert [cell.endswith(":") for cell in cells] == [
+            False, True, False, False,
+        ]
+
+    def test_numeric_columns_right_align_in_latex(self, artifact):
+        assert r"\begin{tabular}{lrll}" in render_latex(artifact)
+
+    def test_missing_metric_renders_a_placeholder_cell(self, artifact):
+        markdown = render_markdown(artifact)
+        latex = render_latex(artifact)
+        # Row 2 has no "note" key at all; row 3 carries an explicit null.
+        assert "—" in markdown
+        assert " -- " in latex or "& -- " in latex
+
+    def test_column_order_is_first_seen(self):
+        rows = [{"b": 1, "a": 2}, {"a": 3, "c": 4}]
+        assert column_order(rows) == ["b", "a", "c"]
+
+    def test_rows_with_extra_keys_widen_the_table(self):
+        artifact = {
+            "bench": "x", "profile": "p", "seed": 0,
+            "generated_at": "t",
+            "rows": [{"metric": "m", "ratio": 1.0, "detail": "d",
+                      "extra": 7}],
+        }
+        markdown = render_markdown(artifact)
+        assert "extra" in markdown.splitlines()[4]
+
+    def test_empty_rows_still_render_a_header(self):
+        artifact = {
+            "bench": "x", "profile": "p", "seed": 0,
+            "generated_at": "t", "rows": [],
+        }
+        markdown = render_markdown(artifact)
+        assert markdown.startswith("## x — profile p, seed 0")
+        assert render_latex(artifact).startswith(r"\begin{table}[ht]")
+
+
+# ----------------------------------------------------------------------
+# Loading and validation failures
+# ----------------------------------------------------------------------
+class TestLoadArtifact:
+    def test_loads_a_mapping_in_place(self, artifact):
+        assert load_artifact(artifact)["bench"] == "service"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_artifact(tmp_path / "BENCH_absent.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(path)
+
+    def test_unknown_family_raises(self, tmp_path, artifact):
+        payload = dict(artifact)
+        payload["bench"] = "mystery"
+        path = tmp_path / "BENCH_mystery.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="unknown artifact family"):
+            load_artifact(path)
+
+    def test_family_pin_overrides_the_tag(self, artifact):
+        with pytest.raises(ArtifactError):
+            load_artifact(artifact, family="drift")
+
+    def test_shape_violation_names_the_json_path(self, artifact):
+        payload = dict(artifact)
+        payload["seed"] = "not-an-integer"
+        with pytest.raises(ArtifactError, match=r"\$\.seed"):
+            load_artifact(payload)
